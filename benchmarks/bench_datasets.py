@@ -1,0 +1,32 @@
+"""Table 4 / Figure 2: dataset generation and profiling.
+
+Times the workload substrate itself (log generation and shape profiling)
+and records each dataset's Table 4 row in the benchmark metadata.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CORE_DATASETS, SCALE
+from repro.logs.datasets import load_dataset
+from repro.logs.stats import profile_log
+
+
+@pytest.mark.parametrize("name", CORE_DATASETS)
+def test_generate_dataset(benchmark, name):
+    log = benchmark.pedantic(
+        lambda: load_dataset(name, scale=SCALE), rounds=3, iterations=1
+    )
+    profile = profile_log(log)
+    benchmark.extra_info["traces"] = profile.num_traces
+    benchmark.extra_info["activities"] = profile.num_activities
+    benchmark.extra_info["events"] = profile.num_events
+    assert profile.num_traces > 0
+
+
+@pytest.mark.parametrize("name", CORE_DATASETS)
+def test_profile_dataset(benchmark, name):
+    log = load_dataset(name, scale=SCALE)
+    profile = benchmark(profile_log, log)
+    assert profile.events_per_trace.maximum >= profile.events_per_trace.minimum

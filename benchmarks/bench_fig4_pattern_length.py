@@ -1,0 +1,28 @@
+"""Figure 4: our detection time as a function of the query pattern length.
+
+Paper shape: response time grows roughly linearly with pattern length
+(one index fetch + join per additional pattern event).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE
+from repro.bench.workloads import prepared_dataset, prepared_index, stnm_patterns
+from repro.core.policies import Policy
+
+DATASET = "max_10000"
+
+
+@pytest.mark.parametrize("length", (2, 4, 6, 8, 10))
+def test_detection_vs_pattern_length(benchmark, length):
+    log = prepared_dataset(DATASET, SCALE)
+    index = prepared_index(DATASET, SCALE, Policy.STNM)
+    patterns = stnm_patterns(log, length, 20, seed=length)
+
+    def run():
+        return [index.detect(p) for p in patterns]
+
+    results = benchmark(run)
+    benchmark.extra_info["matches"] = sum(len(r) for r in results)

@@ -1,0 +1,32 @@
+"""Figure 5: Accurate vs Fast continuation time vs pattern length.
+
+Paper shape: Accurate grows with pattern length like detection does;
+Fast is flat (it reads only pre-computed statistics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE
+from repro.bench.workloads import prepared_dataset, prepared_index, stnm_patterns
+from repro.core.policies import Policy
+
+DATASET = "max_10000"
+LENGTHS = (1, 2, 4, 6)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_continuation_accurate(benchmark, length):
+    log = prepared_dataset(DATASET, SCALE)
+    index = prepared_index(DATASET, SCALE, Policy.STNM)
+    patterns = stnm_patterns(log, length, 3, seed=50 + length)
+    benchmark(lambda: [index.continuations(p, mode="accurate") for p in patterns])
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_continuation_fast(benchmark, length):
+    log = prepared_dataset(DATASET, SCALE)
+    index = prepared_index(DATASET, SCALE, Policy.STNM)
+    patterns = stnm_patterns(log, length, 3, seed=50 + length)
+    benchmark(lambda: [index.continuations(p, mode="fast") for p in patterns])

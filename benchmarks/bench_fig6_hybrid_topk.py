@@ -1,0 +1,42 @@
+"""Figure 6: Hybrid continuation response time vs the topK parameter.
+
+Paper shape: Hybrid's time grows linearly in topK, bracketed below by Fast
+(topK=0) and above by Accurate (topK = alphabet size).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE
+from repro.bench.workloads import prepared_dataset, prepared_index, stnm_patterns
+from repro.core.policies import Policy
+
+DATASET = "max_10000"
+TOP_KS = (0, 2, 4, 8)
+
+
+def _setup():
+    log = prepared_dataset(DATASET, SCALE)
+    index = prepared_index(DATASET, SCALE, Policy.STNM)
+    pattern = stnm_patterns(log, 4, 1, seed=67)[0]
+    return index, pattern
+
+
+@pytest.mark.parametrize("top_k", TOP_KS)
+def test_continuation_hybrid_topk(benchmark, top_k):
+    index, pattern = _setup()
+    proposals = benchmark(
+        lambda: index.continuations(pattern, mode="hybrid", top_k=top_k)
+    )
+    assert proposals is not None
+
+
+def test_continuation_accurate_reference(benchmark):
+    index, pattern = _setup()
+    benchmark(lambda: index.continuations(pattern, mode="accurate"))
+
+
+def test_continuation_fast_reference(benchmark):
+    index, pattern = _setup()
+    benchmark(lambda: index.continuations(pattern, mode="fast"))

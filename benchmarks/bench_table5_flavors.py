@@ -1,0 +1,26 @@
+"""Table 5: index-build time of the three STNM flavors on process-like logs.
+
+Paper shape: all three flavors perform similarly on these datasets (the
+differences that exist are small in absolute terms).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CORE_DATASETS, SCALE
+from repro.bench.workloads import build_index, prepared_dataset
+from repro.core.policies import PairMethod, Policy
+
+METHODS = (PairMethod.INDEXING, PairMethod.PARSING, PairMethod.STATE)
+
+
+@pytest.mark.parametrize("name", CORE_DATASETS)
+@pytest.mark.parametrize("method", METHODS, ids=lambda m: m.value)
+def test_stnm_index_build(benchmark, name, method):
+    log = prepared_dataset(name, SCALE)
+    benchmark.extra_info["events"] = log.num_events
+    index = benchmark.pedantic(
+        lambda: build_index(log, Policy.STNM, method), rounds=3, iterations=1
+    )
+    assert index.trace_ids()

@@ -1,0 +1,52 @@
+"""Table 8: STNM query response -- Elasticsearch-like vs SASE vs ours.
+
+Paper shape: SASE (no pre-processing) degrades by orders of magnitude on
+large logs; our index wins short patterns; the Elasticsearch-style engine
+catches up on long patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CORE_DATASETS, SCALE
+from repro.baselines.elastic import ElasticIndex
+from repro.baselines.sase import SaseEngine
+from repro.bench.workloads import prepared_dataset, prepared_index, stnm_patterns
+from repro.core.policies import Policy
+
+LENGTHS = (2, 5, 10)
+
+_ELASTIC_CACHE = {}
+
+
+def _elastic(name):
+    if name not in _ELASTIC_CACHE:
+        _ELASTIC_CACHE[name] = ElasticIndex.from_log(prepared_dataset(name, SCALE))
+    return _ELASTIC_CACHE[name]
+
+
+@pytest.mark.parametrize("name", CORE_DATASETS)
+@pytest.mark.parametrize("length", LENGTHS)
+def test_stnm_query_elasticsearch(benchmark, name, length):
+    elastic = _elastic(name)
+    patterns = stnm_patterns(prepared_dataset(name, SCALE), length, 20, seed=length)
+    benchmark(lambda: [elastic.span_search(p) for p in patterns])
+
+
+@pytest.mark.parametrize("name", CORE_DATASETS)
+@pytest.mark.parametrize("length", LENGTHS)
+def test_stnm_query_sase(benchmark, name, length):
+    log = prepared_dataset(name, SCALE)
+    sase = SaseEngine(log)
+    patterns = stnm_patterns(log, length, 20, seed=length)
+    benchmark(lambda: [sase.query(p) for p in patterns])
+
+
+@pytest.mark.parametrize("name", CORE_DATASETS)
+@pytest.mark.parametrize("length", LENGTHS)
+def test_stnm_query_ours(benchmark, name, length):
+    log = prepared_dataset(name, SCALE)
+    index = prepared_index(name, SCALE, Policy.STNM)
+    patterns = stnm_patterns(log, length, 20, seed=length)
+    benchmark(lambda: [index.detect(p) for p in patterns])

@@ -1,0 +1,57 @@
+"""Quickstart: index a tiny log, then run every query type.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EventLog, Policy, SequenceIndex
+
+
+def main() -> None:
+    # The paper's running example (§2.1): the trace <AAABAACB>, plus a few
+    # friends.  Timestamps default to event positions.
+    log = EventLog.from_dict(
+        {
+            "session_1": list("AAABAACB"),
+            "session_2": list("ABCABC"),
+            "session_3": list("AACCB"),
+        }
+    )
+
+    # Build the inverted event-pair index (skip-till-next-match policy).
+    index = SequenceIndex(policy=Policy.STNM)
+    stats = index.update(log)
+    print(f"indexed {stats.events_indexed} events, {stats.pairs_created} pairs\n")
+
+    # 1. Pattern detection: every completion of A..B across all traces.
+    print("detect A->B (skip-till-next-match):")
+    for match in index.detect(["A", "B"]):
+        print(f"  {match.trace_id}: timestamps {match.timestamps}")
+
+    # 2. Statistics: constant-time pairwise counts and durations.
+    pattern = ["A", "A", "B"]
+    pattern_stats = index.statistics(pattern)
+    print(f"\nstatistics for {pattern}:")
+    for pair_stats in pattern_stats.pairs:
+        print(
+            f"  {pair_stats.pair}: completions={pair_stats.completions} "
+            f"avg_duration={pair_stats.average_duration:.2f}"
+        )
+    print(f"  whole-pattern upper bound: {pattern_stats.max_completions} completions")
+
+    # 3. Pattern continuation: which event most likely follows A, A?
+    print("\ncontinuations of [A, A] (accurate):")
+    for proposal in index.continuations(["A", "A"], mode="accurate"):
+        print(
+            f"  {proposal.event}: completions={proposal.completions} "
+            f"score={proposal.score:.3f}"
+        )
+
+    # 4. The relaxed skip-till-any-match extension counts all embeddings.
+    stam = index.detect(["A", "B"], policy=Policy.STAM)
+    print(f"\nskip-till-any-match A->B embeddings: {len(stam)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``bdist_wheel`` for PEP 660 editable installs;
+offline machines without ``wheel`` can fall back to
+``python setup.py develop`` which this shim enables.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""The three comparison systems of the paper's evaluation (§5).
+
+* :mod:`repro.baselines.suffix`  -- the suffix-array subtree-matching
+  technique of Luccio et al. ([19] in the paper): heavy pre-processing,
+  O(m log n + k) strict-contiguity queries.
+* :mod:`repro.baselines.elastic` -- an Elasticsearch-style positional
+  inverted index answering ordered span queries.
+* :mod:`repro.baselines.sase`    -- the SASE complex-event-processing
+  engine: no pre-processing, NFA evaluation over the whole log per query.
+"""
+
+from repro.baselines.elastic import ElasticIndex
+from repro.baselines.sase import SaseEngine, SasePattern
+from repro.baselines.suffix import SuffixArrayMatcher
+
+__all__ = ["SuffixArrayMatcher", "ElasticIndex", "SaseEngine", "SasePattern"]

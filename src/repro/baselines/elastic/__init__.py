@@ -1,0 +1,18 @@
+"""An Elasticsearch-style search engine over event logs.
+
+The paper compares against Elasticsearch 7.9.1, indexing each trace as a
+document of activity terms and querying with ordered span queries.  This
+package rebuilds the relevant slice of that engine:
+
+* :mod:`repro.baselines.elastic.analyzer` -- tokenize traces into terms with
+  positions (the analysis phase of indexing);
+* :mod:`repro.baselines.elastic.postings` -- term dictionary + per-document
+  positional postings, buffered then "refreshed" into immutable segments;
+* :mod:`repro.baselines.elastic.search`   -- ``span_near(in_order=True)``
+  evaluation: candidate documents from postings intersection, in-document
+  verification over position lists.
+"""
+
+from repro.baselines.elastic.engine import ElasticIndex
+
+__all__ = ["ElasticIndex"]

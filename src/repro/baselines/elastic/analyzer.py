@@ -1,0 +1,33 @@
+"""Trace analysis: the tokenisation step of document indexing.
+
+An event trace maps onto a document whose terms are the activity names and
+whose token positions are the event positions.  Timestamps ride along in a
+stored field so query results can report real event times, exactly like an
+Elasticsearch ``_source`` document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Trace
+
+
+@dataclass(frozen=True)
+class AnalyzedDocument:
+    """One trace, analysed: term stream plus stored source fields."""
+
+    doc_id: int
+    trace_id: str
+    terms: tuple[str, ...]
+    timestamps: tuple[float, ...]
+
+
+def analyze_trace(doc_id: int, trace: Trace) -> AnalyzedDocument:
+    """Tokenize one trace into a positional term stream."""
+    return AnalyzedDocument(
+        doc_id=doc_id,
+        trace_id=trace.trace_id,
+        terms=tuple(trace.activities),
+        timestamps=tuple(float(ts) for ts in trace.timestamps),
+    )

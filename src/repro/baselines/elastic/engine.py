@@ -1,0 +1,108 @@
+"""`ElasticIndex`: the user-facing facade of the Elasticsearch baseline."""
+
+from __future__ import annotations
+
+from repro.baselines.elastic.analyzer import analyze_trace
+from repro.baselines.elastic.postings import PostingsBuffer, Segment, merge_segments
+from repro.baselines.elastic.search import span_near
+from repro.core.matches import PatternMatch
+from repro.core.model import EventLog
+
+
+class ElasticIndex:
+    """Index event logs as positional documents; query with ordered spans.
+
+    Usage mirrors the engine being modelled: ``index_log`` analyses and
+    buffers documents, ``refresh`` makes them searchable, queries run
+    against the merged view.
+    """
+
+    def __init__(self, refresh_every: int = 10_000) -> None:
+        if refresh_every <= 0:
+            raise ValueError("refresh_every must be positive")
+        self._refresh_every = refresh_every
+        self._buffer = PostingsBuffer()
+        self._segments: list[Segment] = []
+        self._searchable: Segment | None = None
+        self._next_doc_id = 0
+
+    @classmethod
+    def from_log(cls, log: EventLog, refresh_every: int = 10_000) -> "ElasticIndex":
+        index = cls(refresh_every)
+        index.index_log(log)
+        index.refresh()
+        return index
+
+    # -- indexing -----------------------------------------------------------------
+
+    def index_log(self, log: EventLog) -> None:
+        """Analyse and buffer every trace of ``log`` as a document."""
+        for trace in log:
+            document = analyze_trace(self._next_doc_id, trace)
+            self._next_doc_id += 1
+            self._buffer.add_document(document)
+            if len(self._buffer) >= self._refresh_every:
+                self._segments.append(self._buffer.refresh())
+                self._searchable = None
+
+    def refresh(self) -> None:
+        """Make buffered documents searchable (freeze into a segment)."""
+        if len(self._buffer):
+            self._segments.append(self._buffer.refresh())
+            self._searchable = None
+
+    def force_merge(self) -> None:
+        """Merge all segments into one (the optimize operation)."""
+        self.refresh()
+        if len(self._segments) > 1:
+            self._segments = [merge_segments(self._segments)]
+            self._searchable = None
+
+    @property
+    def num_documents(self) -> int:
+        return sum(segment.num_documents for segment in self._segments) + len(
+            self._buffer
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def _view(self) -> Segment:
+        if self._searchable is None:
+            if not self._segments:
+                self._segments = [PostingsBuffer().refresh()]
+            self._searchable = (
+                self._segments[0]
+                if len(self._segments) == 1
+                else merge_segments(self._segments)
+            )
+            self._segments = [self._searchable]
+        return self._searchable
+
+    def span_search(
+        self, pattern: list[str], slop: int | None = None
+    ) -> list[PatternMatch]:
+        """Ordered span query; returns matches with real event timestamps.
+
+        ``slop=None`` is the STNM-style unlimited-gap query the paper runs;
+        ``slop=0`` degenerates to a strict phrase (SC) query.
+        """
+        view = self._view()
+        matches: list[PatternMatch] = []
+        for span in span_near(view, pattern, slop):
+            document = view.document(span.doc_id)
+            matches.append(
+                PatternMatch(
+                    document.trace_id,
+                    tuple(document.timestamps[p] for p in span.positions),
+                )
+            )
+        matches.sort(key=lambda m: (m.trace_id, m.timestamps))
+        return matches
+
+    def contains(self, pattern: list[str], slop: int | None = None) -> list[str]:
+        """Trace ids with at least one in-order span of ``pattern``."""
+        return sorted({match.trace_id for match in self.span_search(pattern, slop)})
+
+    def count(self, pattern: list[str], slop: int | None = None) -> int:
+        """Number of span occurrences of ``pattern``."""
+        return len(self.span_search(pattern, slop))

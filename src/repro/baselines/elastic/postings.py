@@ -1,0 +1,101 @@
+"""Positional inverted index: term dictionary and per-document postings.
+
+Writes go to an in-memory buffer (the "indexing buffer"); a *refresh*
+freezes the buffer into an immutable segment whose postings are sorted
+numpy arrays -- the structure queries actually read, mirroring the Lucene
+segment life-cycle that dominates Elasticsearch's indexing cost profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.elastic.analyzer import AnalyzedDocument
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One term's occurrences inside one document."""
+
+    doc_id: int
+    positions: np.ndarray  # sorted int64 token positions
+
+
+class Segment:
+    """Immutable searchable unit produced by a refresh."""
+
+    def __init__(
+        self,
+        term_postings: dict[str, list[Posting]],
+        documents: dict[int, AnalyzedDocument],
+    ) -> None:
+        self._term_postings = term_postings
+        self._documents = documents
+
+    def postings(self, term: str) -> list[Posting]:
+        return self._term_postings.get(term, [])
+
+    def doc_frequency(self, term: str) -> int:
+        return len(self._term_postings.get(term, ()))
+
+    def document(self, doc_id: int) -> AnalyzedDocument:
+        return self._documents[doc_id]
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._documents)
+
+    def terms(self) -> list[str]:
+        return sorted(self._term_postings)
+
+
+class PostingsBuffer:
+    """Mutable indexing buffer accumulating analysed documents."""
+
+    def __init__(self) -> None:
+        self._term_positions: dict[str, dict[int, list[int]]] = {}
+        self._documents: dict[int, AnalyzedDocument] = {}
+
+    def add_document(self, document: AnalyzedDocument) -> None:
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate doc_id {document.doc_id}")
+        self._documents[document.doc_id] = document
+        for position, term in enumerate(document.terms):
+            self._term_positions.setdefault(term, {}).setdefault(
+                document.doc_id, []
+            ).append(position)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def refresh(self) -> Segment:
+        """Freeze the buffer into an immutable segment and reset it."""
+        term_postings: dict[str, list[Posting]] = {}
+        for term, per_doc in self._term_positions.items():
+            postings = [
+                Posting(doc_id, np.asarray(positions, dtype=np.int64))
+                for doc_id, positions in sorted(per_doc.items())
+            ]
+            term_postings[term] = postings
+        segment = Segment(term_postings, dict(self._documents))
+        self._term_positions.clear()
+        self._documents.clear()
+        return segment
+
+
+def merge_segments(segments: list[Segment]) -> Segment:
+    """Merge segments into one (the force-merge/optimize operation)."""
+    term_postings: dict[str, list[Posting]] = {}
+    documents: dict[int, AnalyzedDocument] = {}
+    for segment in segments:
+        for doc_id, document in segment._documents.items():
+            if doc_id in documents:
+                raise ValueError(f"doc_id {doc_id} appears in multiple segments")
+            documents[doc_id] = document
+        for term in segment.terms():
+            term_postings.setdefault(term, []).extend(segment.postings(term))
+    for postings in term_postings.values():
+        postings.sort(key=lambda posting: posting.doc_id)
+    return Segment(term_postings, documents)

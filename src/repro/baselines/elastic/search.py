@@ -1,0 +1,124 @@
+"""Ordered span query evaluation (``span_near`` with ``in_order=true``).
+
+Evaluation follows the engine's real two-phase shape:
+
+1. **candidate generation** -- intersect the doc-id sets of every query
+   term's postings (conjunctive Boolean filter);
+2. **in-document verification** -- walk the per-term position arrays of each
+   candidate and emit the minimal in-order spans.
+
+Span semantics use the greedy minimal-span enumeration Lucene's
+``SpanNearQuery`` performs; with unlimited slop this returns the same
+non-overlapping occurrence set as skip-till-next-match detection, which is
+why the paper compares Elasticsearch under STNM queries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.baselines.elastic.postings import Segment
+
+
+@dataclass(frozen=True)
+class SpanMatch:
+    """One in-order span occurrence inside one document."""
+
+    doc_id: int
+    positions: tuple[int, ...]
+
+
+def candidate_documents(segment: Segment, terms: list[str]) -> list[int]:
+    """Doc ids containing every query term, rarest-term-first intersection."""
+    ordered = sorted(set(terms), key=segment.doc_frequency)
+    if not ordered:
+        return []
+    first = segment.postings(ordered[0])
+    survivors = {posting.doc_id for posting in first}
+    for term in ordered[1:]:
+        if not survivors:
+            return []
+        doc_ids = {posting.doc_id for posting in segment.postings(term)}
+        survivors &= doc_ids
+    return sorted(survivors)
+
+
+def _positions_by_doc(segment: Segment, term: str) -> dict[int, list[int]]:
+    return {
+        posting.doc_id: posting.positions.tolist()
+        for posting in segment.postings(term)
+    }
+
+
+def span_near(
+    segment: Segment,
+    terms: list[str],
+    slop: int | None = None,
+) -> list[SpanMatch]:
+    """All minimal in-order spans of ``terms``; ``slop`` bounds span width.
+
+    ``slop`` follows Lucene: the number of skipped positions tolerated
+    inside the span (``None`` = unlimited; 0 = strict phrase).
+    """
+    if not terms:
+        raise ValueError("span query needs at least one term")
+    per_term = [_positions_by_doc(segment, term) for term in terms]
+    matches: list[SpanMatch] = []
+    for doc_id in candidate_documents(segment, terms):
+        position_lists = [positions[doc_id] for positions in per_term]
+        if slop is None:
+            spans = _doc_spans_greedy(position_lists)
+        else:
+            spans = [
+                span
+                for span in _doc_spans_from_each_start(position_lists)
+                if (span[-1] - span[0] + 1) - len(terms) <= slop
+            ]
+        for span in spans:
+            matches.append(SpanMatch(doc_id, span))
+    return matches
+
+
+def _doc_spans_greedy(position_lists: list[list[int]]) -> list[tuple[int, ...]]:
+    """Non-overlapping greedy in-order spans (unlimited slop / STNM shape)."""
+    spans: list[tuple[int, ...]] = []
+    floor = -1
+    while True:
+        span = _next_span(position_lists, floor)
+        if span is None:
+            return spans
+        spans.append(span)
+        floor = span[-1]
+
+
+def _doc_spans_from_each_start(
+    position_lists: list[list[int]],
+) -> list[tuple[int, ...]]:
+    """Minimal chain from every occurrence of the first term (may overlap).
+
+    Needed for finite slop: the narrow span witnessing a phrase can start
+    later than the greedy earliest chain (e.g. phrase "A A B" in "AAAB"
+    must start at the second A).
+    """
+    spans: list[tuple[int, ...]] = []
+    for start in position_lists[0]:
+        chain = _next_span(position_lists[1:], start)
+        if chain is not None:
+            spans.append((start,) + chain)
+    return spans
+
+
+def _next_span(
+    position_lists: list[list[int]], floor: int
+) -> tuple[int, ...] | None:
+    """Earliest in-order chain strictly after ``floor`` (greedy per step)."""
+    chain: list[int] = []
+    previous = floor
+    for positions in position_lists:
+        idx = bisect_right(positions, previous)
+        if idx >= len(positions):
+            return None
+        previous = positions[idx]
+        chain.append(previous)
+    return tuple(chain)

@@ -1,0 +1,18 @@
+"""A SASE-style complex-event-processing engine (no pre-processing).
+
+SASE compiles a sequence pattern into an NFA and evaluates it over the
+event stream at query time; the paper uses it as the "process everything on
+the fly" comparison point, showing acceptable times on small logs and
+two-orders-of-magnitude slowdowns on large ones (Table 8).
+
+* :mod:`repro.baselines.sase.pattern` -- the pattern language: SEQ of event
+  types, selection strategy, optional time window;
+* :mod:`repro.baselines.sase.nfa`     -- NFA compilation and run semantics
+  for strict contiguity, skip-till-next-match and skip-till-any-match;
+* :mod:`repro.baselines.sase.engine`  -- evaluation over a whole event log.
+"""
+
+from repro.baselines.sase.engine import SaseEngine
+from repro.baselines.sase.pattern import SasePattern
+
+__all__ = ["SaseEngine", "SasePattern"]

@@ -1,0 +1,60 @@
+"""`SaseEngine`: evaluate CEP patterns over a full event log, no indexes."""
+
+from __future__ import annotations
+
+from repro.baselines.sase.nfa import Nfa
+from repro.baselines.sase.pattern import SasePattern
+from repro.core.matches import PatternMatch
+from repro.core.model import EventLog
+from repro.core.policies import Policy
+
+
+class SaseEngine:
+    """On-the-fly pattern evaluation: every query scans every trace.
+
+    This is deliberately index-free -- the engine's whole cost profile
+    (fine on small logs, orders of magnitude slower on BPI-2017-sized ones)
+    is the point of the comparison in Table 8.
+    """
+
+    def __init__(self, log: EventLog) -> None:
+        self.log = log
+
+    def query(
+        self,
+        pattern: SasePattern | list[str],
+        strategy: Policy = Policy.STNM,
+        within: float | None = None,
+        max_matches: int | None = None,
+    ) -> list[PatternMatch]:
+        """All matches of ``pattern`` across the log.
+
+        A plain list of event types is promoted to a :class:`SasePattern`
+        with the given ``strategy``/``within``.
+        """
+        if not isinstance(pattern, SasePattern):
+            pattern = SasePattern.seq(*pattern, strategy=strategy, within=within)
+        nfa = Nfa(pattern)
+        matches: list[PatternMatch] = []
+        for trace in self.log:
+            budget = None if max_matches is None else max_matches - len(matches)
+            if budget is not None and budget <= 0:
+                break
+            for span in nfa.evaluate(trace.activities, trace.timestamps, budget):
+                matches.append(PatternMatch(trace.trace_id, span))
+        return matches
+
+    def contains(
+        self,
+        pattern: SasePattern | list[str],
+        strategy: Policy = Policy.STNM,
+    ) -> list[str]:
+        """Trace ids with at least one match (early-exit per trace)."""
+        if not isinstance(pattern, SasePattern):
+            pattern = SasePattern.seq(*pattern, strategy=strategy)
+        nfa = Nfa(pattern)
+        found = []
+        for trace in self.log:
+            if nfa.evaluate(trace.activities, trace.timestamps, max_matches=1):
+                found.append(trace.trace_id)
+        return sorted(found)

@@ -1,0 +1,243 @@
+"""NFA compilation and evaluation for sequence patterns.
+
+A pattern of length ``p`` compiles to ``p + 1`` states; state ``i`` expects
+the pattern's ``i``-th event type.  What happens on a non-matching event is
+the *selection strategy*:
+
+* **strict contiguity** -- a partially matched run dies;
+* **skip-till-next-match** -- the run ignores the event and keeps waiting;
+  runs never overlap, so at most one run is alive at a time and a completed
+  match restarts matching after its last event (this reproduces the
+  paper's §2.1 example: AAB over <AAABAACB> matches at positions (1,2,4)
+  and (5,6,8));
+* **skip-till-any-match** -- on a matching event the run forks: one branch
+  consumes it, one skips it; all embeddings are produced.
+
+``WITHIN`` windows prune runs whose span exceeds the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.sase.pattern import SasePattern
+from repro.core.policies import Policy
+
+
+@dataclass(frozen=True)
+class NfaState:
+    """One automaton state: the event type it waits for (None = accepting)."""
+
+    index: int
+    expects: str | None
+
+    @property
+    def accepting(self) -> bool:
+        return self.expects is None
+
+
+class Nfa:
+    """Compiled automaton for one :class:`SasePattern`."""
+
+    def __init__(self, pattern: SasePattern) -> None:
+        self.pattern = pattern
+        self.states = tuple(
+            NfaState(i, pattern.event_types[i] if i < len(pattern) else None)
+            for i in range(len(pattern) + 1)
+        )
+
+    def evaluate(
+        self,
+        activities: list[str],
+        timestamps: list[float],
+        max_matches: int | None = None,
+    ) -> list[tuple[float, ...]]:
+        """All matches of the pattern over one trace, as timestamp tuples.
+
+        Kleene-plus elements contribute every absorbed event's timestamp,
+        so match tuples may be longer than the pattern.
+        """
+        strategy = self.pattern.strategy
+        if self.pattern.has_kleene:
+            if strategy is Policy.STAM:
+                raise NotImplementedError(
+                    "Kleene plus is supported for SC and STNM strategies only"
+                )
+            return self._evaluate_kleene(activities, timestamps, max_matches)
+        if strategy is Policy.SC:
+            return self._evaluate_sc(activities, timestamps, max_matches)
+        if strategy is Policy.STNM:
+            return self._evaluate_stnm(activities, timestamps, max_matches)
+        if strategy is Policy.STAM:
+            return self._evaluate_stam(activities, timestamps, max_matches)
+        raise ValueError(f"unsupported strategy {strategy}")
+
+    # -- Kleene plus (SASE+ extension) -------------------------------------------
+
+    def _evaluate_kleene(
+        self,
+        activities: list[str],
+        timestamps: list[float],
+        max_matches: int | None,
+    ) -> list[tuple[float, ...]]:
+        """Maximal-munch Kleene evaluation for SC and STNM.
+
+        A ``+`` element absorbs every occurrence of its type until the next
+        pattern element's type appears (STNM) or until contiguity breaks
+        (SC); the final element, if Kleene, absorbs to the end of trace.
+        """
+        strict = self.pattern.strategy is Policy.SC
+        n = len(activities)
+        matches: list[tuple[float, ...]] = []
+        search_from = 0
+        while search_from < n:
+            chain = self._kleene_run(activities, search_from, strict)
+            if chain is None:
+                if strict:
+                    search_from += 1
+                    continue
+                break
+            span = tuple(timestamps[i] for i in chain)
+            if self._within(span):
+                matches.append(span)
+                if max_matches is not None and len(matches) >= max_matches:
+                    return matches
+                search_from = chain[-1] + 1
+            else:
+                search_from = chain[0] + 1
+        return matches
+
+    def _kleene_run(
+        self, activities: list[str], start: int, strict: bool
+    ) -> list[int] | None:
+        """One greedy run attempt from ``start``; None when no completion."""
+        types = self.pattern.event_types
+        flags = self.pattern.kleene
+        n = len(activities)
+        cursor = start
+        chain: list[int] = []
+        for i, (event_type, is_kleene) in enumerate(zip(types, flags)):
+            if strict:
+                if cursor >= n or activities[cursor] != event_type:
+                    return None
+                chain.append(cursor)
+                cursor += 1
+            else:
+                while cursor < n and activities[cursor] != event_type:
+                    cursor += 1
+                if cursor >= n:
+                    return None
+                chain.append(cursor)
+                cursor += 1
+            if is_kleene:
+                next_type = types[i + 1] if i + 1 < len(types) else None
+                while cursor < n:
+                    if strict:
+                        if activities[cursor] != event_type:
+                            break
+                        chain.append(cursor)
+                        cursor += 1
+                    else:
+                        if next_type is not None and activities[cursor] == next_type:
+                            break
+                        if activities[cursor] == event_type:
+                            chain.append(cursor)
+                        cursor += 1
+        return chain
+
+    # -- strict contiguity -----------------------------------------------------
+
+    def _evaluate_sc(
+        self,
+        activities: list[str],
+        timestamps: list[float],
+        max_matches: int | None,
+    ) -> list[tuple[float, ...]]:
+        types = self.pattern.event_types
+        width = len(types)
+        matches: list[tuple[float, ...]] = []
+        for start in range(len(activities) - width + 1):
+            if all(activities[start + i] == types[i] for i in range(width)):
+                span = tuple(timestamps[start : start + width])
+                if self._within(span):
+                    matches.append(span)
+                    if max_matches is not None and len(matches) >= max_matches:
+                        break
+        return matches
+
+    # -- skip-till-next-match -----------------------------------------------------
+
+    def _evaluate_stnm(
+        self,
+        activities: list[str],
+        timestamps: list[float],
+        max_matches: int | None,
+    ) -> list[tuple[float, ...]]:
+        types = self.pattern.event_types
+        matches: list[tuple[float, ...]] = []
+        n = len(activities)
+        search_from = 0
+        while search_from < n:
+            # Greedy run from the next occurrence of the first type.
+            chain: list[int] = []
+            cursor = search_from
+            for event_type in types:
+                while cursor < n and activities[cursor] != event_type:
+                    cursor += 1
+                if cursor >= n:
+                    return matches
+                chain.append(cursor)
+                cursor += 1
+            span = tuple(timestamps[i] for i in chain)
+            if self._within(span):
+                matches.append(span)
+                if max_matches is not None and len(matches) >= max_matches:
+                    return matches
+                search_from = chain[-1] + 1
+            else:
+                # Window exceeded: retry from the next possible start event.
+                search_from = chain[0] + 1
+        return matches
+
+    # -- skip-till-any-match ---------------------------------------------------------
+
+    def _evaluate_stam(
+        self,
+        activities: list[str],
+        timestamps: list[float],
+        max_matches: int | None,
+    ) -> list[tuple[float, ...]]:
+        types = self.pattern.event_types
+        positions: dict[str, list[int]] = {}
+        for idx, activity in enumerate(activities):
+            positions.setdefault(activity, []).append(idx)
+        for event_type in types:
+            if event_type not in positions:
+                return []
+        matches: list[tuple[float, ...]] = []
+
+        def extend(step: int, last_index: int, chain: tuple[float, ...]) -> bool:
+            if step == len(types):
+                matches.append(chain)
+                return max_matches is not None and len(matches) >= max_matches
+            for idx in positions[types[step]]:
+                if idx <= last_index:
+                    continue
+                span = chain + (timestamps[idx],)
+                if (
+                    self.pattern.within is not None
+                    and len(span) > 1
+                    and span[-1] - span[0] > self.pattern.within
+                ):
+                    break  # positions ascend: later ones only widen the span
+                if extend(step + 1, idx, span):
+                    return True
+            return False
+
+        extend(0, -1, ())
+        return matches
+
+    def _within(self, span: tuple[float, ...]) -> bool:
+        if self.pattern.within is None or len(span) < 2:
+            return True
+        return span[-1] - span[0] <= self.pattern.within

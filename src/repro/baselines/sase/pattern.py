@@ -1,0 +1,76 @@
+"""The SASE pattern language subset used by the paper's experiments.
+
+``SEQ(a, b, c)`` under a selection strategy, optionally constrained by a
+time window (``WITHIN``).  The SASE+ **Kleene plus** extension ([9] in the
+paper) is supported by suffixing an element with ``+``: ``SEQ(a, b+, c)``
+matches one or more ``b`` events between the ``a`` and the ``c``.  Event
+predicates beyond type equality are out of the paper's experimental scope,
+but the structure leaves room for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policies import Policy
+
+
+@dataclass(frozen=True)
+class SasePattern:
+    """A sequence pattern: event types, strategy, optional window.
+
+    ``kleene[i]`` marks element ``i`` as Kleene-plus (one or more
+    occurrences, maximal-munch under SC/STNM).
+    """
+
+    event_types: tuple[str, ...]
+    strategy: Policy = Policy.STNM
+    within: float | None = None
+    kleene: tuple[bool, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.event_types:
+            raise ValueError("a SASE pattern needs at least one event type")
+        if self.within is not None and self.within <= 0:
+            raise ValueError("the WITHIN window must be positive")
+        if not self.kleene:
+            object.__setattr__(self, "kleene", tuple(False for _ in self.event_types))
+        elif len(self.kleene) != len(self.event_types):
+            raise ValueError("kleene flags must align with event_types")
+
+    @classmethod
+    def seq(
+        cls,
+        *event_types: str,
+        strategy: Policy = Policy.STNM,
+        within: float | None = None,
+    ) -> "SasePattern":
+        """``SEQ(e1, e2+, ...)`` constructor, reading like the SASE language.
+
+        A trailing ``+`` on an element marks it Kleene-plus.
+        """
+        names = []
+        flags = []
+        for raw in event_types:
+            if raw.endswith("+") and len(raw) > 1:
+                names.append(raw[:-1])
+                flags.append(True)
+            else:
+                names.append(raw)
+                flags.append(False)
+        return cls(tuple(names), strategy, within, tuple(flags))
+
+    @property
+    def has_kleene(self) -> bool:
+        return any(self.kleene)
+
+    def __len__(self) -> int:
+        return len(self.event_types)
+
+    def __str__(self) -> str:
+        body = ", ".join(
+            f"{name}+" if flag else name
+            for name, flag in zip(self.event_types, self.kleene)
+        )
+        suffix = f" WITHIN {self.within}" if self.within is not None else ""
+        return f"SEQ({body}) [{self.strategy.value}]{suffix}"

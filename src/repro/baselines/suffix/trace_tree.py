@@ -1,0 +1,99 @@
+"""The trace tree: distinct trace sequences with shared-prefix structure.
+
+Inserting every trace into a trie both deduplicates identical traces (the
+dominant saving in process logs, where thousands of cases follow the same
+variant) and exposes the tree whose preorder string the suffix array
+indexes.  Each distinct root-to-leaf path keeps the list of trace ids that
+follow it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import EventLog
+
+
+@dataclass
+class TraceTreeNode:
+    """One trie node; ``children`` keyed by activity."""
+
+    activity: str | None
+    children: dict[str, "TraceTreeNode"] = field(default_factory=dict)
+    trace_ids: list[str] = field(default_factory=list)  # traces ending here
+
+    def child(self, activity: str) -> "TraceTreeNode":
+        node = self.children.get(activity)
+        if node is None:
+            node = TraceTreeNode(activity)
+            self.children[activity] = node
+        return node
+
+
+class TraceTree:
+    """Trie over trace activity sequences."""
+
+    def __init__(self) -> None:
+        self.root = TraceTreeNode(None)
+        self._num_traces = 0
+        self._num_nodes = 0
+
+    @classmethod
+    def from_log(cls, log: EventLog) -> "TraceTree":
+        tree = cls()
+        for trace in log:
+            tree.insert(trace.trace_id, trace.activities)
+        return tree
+
+    def insert(self, trace_id: str, activities: list[str]) -> None:
+        """Add one trace's activity path."""
+        node = self.root
+        for activity in activities:
+            node = node.child(activity)
+        node.trace_ids.append(trace_id)
+        self._num_traces += 1
+
+    @property
+    def num_traces(self) -> int:
+        return self._num_traces
+
+    def num_nodes(self) -> int:
+        """Trie size (excluding the root)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children.values():
+                count += 1
+                stack.append(child)
+        return count
+
+    def distinct_paths(self) -> list[tuple[tuple[str, ...], list[str]]]:
+        """All distinct trace sequences with the trace ids following each.
+
+        Returned in deterministic (depth-first, activity-sorted) order.
+        """
+        result: list[tuple[tuple[str, ...], list[str]]] = []
+
+        def descend(node: TraceTreeNode, path: tuple[str, ...]) -> None:
+            if node.trace_ids:
+                result.append((path, list(node.trace_ids)))
+            for activity in sorted(node.children):
+                descend(node.children[activity], path + (activity,))
+
+        descend(self.root, ())
+        return result
+
+    def preorder_string(self, encode: dict[str, int]) -> list[int]:
+        """The Luccio-style preorder string: labels with 0 on each ascent."""
+        out: list[int] = []
+
+        def descend(node: TraceTreeNode) -> None:
+            for activity in sorted(node.children):
+                child = node.children[activity]
+                out.append(encode[activity])
+                descend(child)
+                out.append(0)
+
+        descend(self.root)
+        return out

@@ -1,0 +1,36 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+Each experiment in §5 has a function here producing the same rows/series
+the paper reports; ``python -m repro.bench.runner`` runs them all (or a
+subset) and writes text tables plus CSV files under ``results/``.
+
+The pytest-benchmark suites in ``benchmarks/`` wrap the same workloads for
+statistically robust single-operation timings; the runner produces the
+paper-shaped summary tables.
+
+Dataset sizes honour ``REPRO_BENCH_SCALE`` (default 1.0 in the library,
+scaled down in the shipped benchmark defaults) so the full suite is
+laptop-sized; the *shape* of every comparison -- who wins, by what factor,
+where trends cross -- is what the reproduction targets, not the absolute
+milliseconds of the authors' testbed.
+"""
+
+from repro.bench.reporting import ExperimentResult, format_table, write_csv
+from repro.bench.workloads import (
+    build_index,
+    contiguous_patterns,
+    prepared_dataset,
+    stnm_patterns,
+    timed,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "write_csv",
+    "timed",
+    "build_index",
+    "prepared_dataset",
+    "contiguous_patterns",
+    "stnm_patterns",
+]

@@ -1,0 +1,423 @@
+"""One function per table/figure of the paper's evaluation (§5).
+
+Every function returns an :class:`~repro.bench.reporting.ExperimentResult`
+whose rows mirror the paper's presentation.  All functions take ``scale``
+(fraction of the paper's dataset sizes) so the whole suite can run at
+laptop size; relative comparisons -- the reproduction target -- survive
+scaling.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Sequence
+
+from repro.baselines.elastic import ElasticIndex
+from repro.baselines.sase import SaseEngine
+from repro.baselines.suffix import SuffixArrayMatcher
+from repro.bench.reporting import ExperimentResult
+from repro.bench.workloads import (
+    build_index,
+    contiguous_patterns,
+    prepared_dataset,
+    prepared_index,
+    stnm_patterns,
+    timed,
+)
+from repro.core.pairs import create_pairs
+from repro.core.policies import PairMethod, Policy
+from repro.executor import ParallelExecutor
+from repro.logs.datasets import DATASETS
+from repro.logs.generator import RandomLogConfig, generate_random_log
+from repro.logs.stats import profile_log
+
+#: dataset order used by Tables 5/6/7/8
+TABLE_DATASETS: tuple[str, ...] = DATASETS
+
+STNM_METHODS = (PairMethod.INDEXING, PairMethod.PARSING, PairMethod.STATE)
+
+
+def _mean_time(fn: Callable[[], object], repeats: int) -> float:
+    """Average wall time of ``fn`` over ``repeats`` runs (paper: 5 runs)."""
+    times = []
+    for _ in range(max(1, repeats)):
+        elapsed, _ = timed(fn)
+        times.append(elapsed)
+    return statistics.fmean(times)
+
+
+def _pair_creation_time(log, method: PairMethod) -> float:
+    """Time to create all event pairs of ``log`` with ``method`` (one run)."""
+    views = [(trace.activities, trace.timestamps) for trace in log]
+    elapsed, _ = timed(
+        lambda: [create_pairs(acts, stamps, method) for acts, stamps in views]
+    )
+    return elapsed
+
+
+# --- Table 4 / Figure 2 ---------------------------------------------------------
+
+
+def exp_table4(scale: float, datasets: Sequence[str] = TABLE_DATASETS) -> ExperimentResult:
+    """Dataset inventory: traces and distinct activities per log."""
+    result = ExperimentResult(
+        "table4",
+        "Number of traces and distinct activities per event log",
+        ["log file", "traces", "activities", "events"],
+    )
+    for name in datasets:
+        profile = profile_log(prepared_dataset(name, scale))
+        result.add(name, profile.num_traces, profile.num_activities, profile.num_events)
+    result.note(f"scale={scale} of the paper's dataset sizes")
+    return result
+
+
+def exp_fig2(scale: float, datasets: Sequence[str] = TABLE_DATASETS) -> ExperimentResult:
+    """Events-per-trace and activities-per-trace distribution summaries."""
+    result = ExperimentResult(
+        "fig2",
+        "Distributions of events and unique activities per trace",
+        [
+            "log file",
+            "events/trace min",
+            "events/trace mean",
+            "events/trace max",
+            "acts/trace min",
+            "acts/trace mean",
+            "acts/trace max",
+        ],
+    )
+    for name in datasets:
+        profile = profile_log(prepared_dataset(name, scale))
+        events = profile.events_per_trace
+        acts = profile.activities_per_trace
+        result.add(
+            name,
+            events.minimum,
+            events.mean,
+            events.maximum,
+            acts.minimum,
+            acts.mean,
+            acts.maximum,
+        )
+    return result
+
+
+# --- Table 5: STNM pair-indexing flavors on process-like logs ----------------------
+
+
+def exp_table5(
+    scale: float,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Index build time of the three STNM flavors per dataset."""
+    result = ExperimentResult(
+        "table5",
+        "Execution times of different STNM indexing methods (seconds)",
+        ["log file", "indexing", "parsing", "state"],
+    )
+    for name in datasets:
+        log = prepared_dataset(name, scale)
+        times = [
+            _mean_time(lambda m=method: build_index(log, Policy.STNM, m), repeats)
+            for method in STNM_METHODS
+        ]
+        result.add(name, *times)
+    return result
+
+
+# --- Figure 3: flavors on large random logs (three sweeps) --------------------------
+
+
+def exp_fig3(scale: float, repeats: int = 1) -> ExperimentResult:
+    """Pair-creation time of the three flavors across the paper's sweeps.
+
+    Sweep axes follow §5.2: events/trace at 1000 traces x 500 activities;
+    traces at <=1000 events x 100 activities; activities at 500 traces x
+    <=500 events.  Trace counts scale with ``scale``.
+    """
+    result = ExperimentResult(
+        "fig3",
+        "STNM pair creation on random logs (seconds)",
+        ["sweep", "x", "indexing", "parsing", "state"],
+    )
+
+    def run(sweep: str, x_value: int, config: RandomLogConfig) -> None:
+        log = generate_random_log(config)
+        times = [
+            _mean_time(lambda m=method: _pair_creation_time(log, m), repeats)
+            for method in STNM_METHODS
+        ]
+        result.add(sweep, x_value, *times)
+
+    traces_base = max(5, round(1000 * scale))
+    for max_events in (100, 500, 1000, 2000, 4000):
+        run(
+            "events/trace",
+            max_events,
+            RandomLogConfig(
+                num_traces=traces_base,
+                max_events_per_trace=max_events,
+                num_activities=500,
+                seed=31,
+            ),
+        )
+    for traces in (100, 500, 1000, 2500, 5000):
+        run(
+            "traces",
+            traces,
+            RandomLogConfig(
+                num_traces=max(5, round(traces * scale)),
+                max_events_per_trace=1000,
+                num_activities=100,
+                seed=32,
+            ),
+        )
+    acts_traces = max(5, round(500 * scale))
+    for acts in (4, 20, 100, 500, 1000, 2000):
+        run(
+            "activities",
+            acts,
+            RandomLogConfig(
+                num_traces=acts_traces,
+                max_events_per_trace=500,
+                num_activities=acts,
+                seed=33,
+            ),
+        )
+    result.note("x axes keep the paper's values; trace counts scaled by scale")
+    return result
+
+
+# --- Table 6: pre-processing comparison -----------------------------------------------
+
+
+def exp_table6(
+    scale: float,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    repeats: int = 1,
+    workers: int | None = None,
+) -> ExperimentResult:
+    """Index-construction time: [19], Strict, Indexing (serial/parallel), ES."""
+    result = ExperimentResult(
+        "table6",
+        "Pre-processing time comparison (seconds)",
+        [
+            "log file",
+            "[19] suffix",
+            "strict (1 thread)",
+            "strict",
+            "indexing (1 thread)",
+            "indexing",
+            "elasticsearch",
+        ],
+    )
+    parallel = ParallelExecutor(backend="process", max_workers=workers)
+    serial = ParallelExecutor.serial()
+    for name in datasets:
+        log = prepared_dataset(name, scale)
+        suffix_time = _mean_time(lambda: SuffixArrayMatcher(log), repeats)
+        strict_serial = _mean_time(
+            lambda: build_index(log, Policy.SC, PairMethod.STRICT, serial), repeats
+        )
+        strict_parallel = _mean_time(
+            lambda: build_index(log, Policy.SC, PairMethod.STRICT, parallel), repeats
+        )
+        indexing_serial = _mean_time(
+            lambda: build_index(log, Policy.STNM, PairMethod.INDEXING, serial),
+            repeats,
+        )
+        indexing_parallel = _mean_time(
+            lambda: build_index(log, Policy.STNM, PairMethod.INDEXING, parallel),
+            repeats,
+        )
+        elastic_time = _mean_time(lambda: ElasticIndex.from_log(log), repeats)
+        result.add(
+            name,
+            suffix_time,
+            strict_serial,
+            strict_parallel,
+            indexing_serial,
+            indexing_parallel,
+            elastic_time,
+        )
+    return result
+
+
+# --- Table 7 / Figure 4: SC query response ----------------------------------------------
+
+
+def exp_table7(
+    scale: float,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    patterns_per_length: int = 20,
+) -> ExperimentResult:
+    """SC detection: [19] vs our method at pattern lengths 2 and 10."""
+    result = ExperimentResult(
+        "table7",
+        "SC query response times (seconds per query)",
+        ["log file", "[19] suffix", "ours (len 2)", "ours (len 10)"],
+    )
+    for name in datasets:
+        log = prepared_dataset(name, scale)
+        matcher = SuffixArrayMatcher(log)
+        index = prepared_index(name, scale, Policy.SC)
+        short = contiguous_patterns(log, 2, patterns_per_length, seed=7)
+        long = contiguous_patterns(log, 10, patterns_per_length, seed=8)
+        suffix_time, _ = timed(lambda: [matcher.detect(p) for p in short + long])
+        ours_short, _ = timed(lambda: [index.detect(p) for p in short])
+        ours_long, _ = timed(lambda: [index.detect(p) for p in long])
+        result.add(
+            name,
+            suffix_time / max(1, len(short) + len(long)),
+            ours_short / max(1, len(short)),
+            ours_long / max(1, len(long)),
+        )
+    return result
+
+
+def exp_fig4(
+    scale: float,
+    dataset: str = "max_10000",
+    lengths: Sequence[int] = (2, 3, 4, 5, 6, 7, 8, 9, 10),
+    patterns_per_length: int = 20,
+) -> ExperimentResult:
+    """Our detection time as a function of the query pattern length."""
+    result = ExperimentResult(
+        "fig4",
+        f"Response time vs pattern length ({dataset})",
+        ["pattern length", "seconds per query"],
+    )
+    log = prepared_dataset(dataset, scale)
+    index = prepared_index(dataset, scale, Policy.STNM)
+    for length in lengths:
+        patterns = stnm_patterns(log, length, patterns_per_length, seed=length)
+        elapsed, _ = timed(lambda: [index.detect(p) for p in patterns])
+        result.add(length, elapsed / max(1, len(patterns)))
+    return result
+
+
+# --- Table 8: STNM query response vs Elasticsearch and SASE --------------------------------
+
+
+def exp_table8(
+    scale: float,
+    datasets: Sequence[str] = TABLE_DATASETS,
+    lengths: Sequence[int] = (2, 5, 10),
+    patterns_per_config: int = 20,
+) -> ExperimentResult:
+    """STNM detection: Elasticsearch-like vs SASE vs our method."""
+    result = ExperimentResult(
+        "table8",
+        "STNM query response times (seconds per query)",
+        ["pattern length", "log file", "elasticsearch", "sase", "ours"],
+    )
+    for length in lengths:
+        for name in datasets:
+            log = prepared_dataset(name, scale)
+            elastic = ElasticIndex.from_log(log)
+            sase = SaseEngine(log)
+            index = prepared_index(name, scale, Policy.STNM)
+            patterns = stnm_patterns(log, length, patterns_per_config, seed=length)
+            es_time, _ = timed(lambda: [elastic.span_search(p) for p in patterns])
+            sase_time, _ = timed(lambda: [sase.query(p) for p in patterns])
+            ours_time, _ = timed(lambda: [index.detect(p) for p in patterns])
+            count = max(1, len(patterns))
+            result.add(length, name, es_time / count, sase_time / count, ours_time / count)
+    return result
+
+
+# --- Figures 5-7: pattern continuation --------------------------------------------------------
+
+
+def exp_fig5(
+    scale: float,
+    dataset: str = "max_10000",
+    lengths: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    patterns_per_length: int = 5,
+) -> ExperimentResult:
+    """Accurate vs Fast continuation response time vs pattern length."""
+    result = ExperimentResult(
+        "fig5",
+        f"Continuation response time vs pattern length ({dataset})",
+        ["pattern length", "accurate", "fast"],
+    )
+    log = prepared_dataset(dataset, scale)
+    index = prepared_index(dataset, scale, Policy.STNM)
+    for length in lengths:
+        patterns = stnm_patterns(log, length, patterns_per_length, seed=50 + length)
+        accurate, _ = timed(
+            lambda: [index.continuations(p, mode="accurate") for p in patterns]
+        )
+        fast, _ = timed(lambda: [index.continuations(p, mode="fast") for p in patterns])
+        count = max(1, len(patterns))
+        result.add(length, accurate / count, fast / count)
+    return result
+
+
+def _fig67_setup(scale: float, dataset: str, pattern_length: int = 4):
+    log = prepared_dataset(dataset, scale)
+    index = prepared_index(dataset, scale, Policy.STNM)
+    pattern = stnm_patterns(log, pattern_length, 1, seed=67)[0]
+    return index, pattern
+
+
+def exp_fig6(
+    scale: float,
+    dataset: str = "max_10000",
+    top_ks: Sequence[int] = (1, 2, 4, 6, 8, 10, 12),
+) -> ExperimentResult:
+    """Hybrid continuation response time vs topK (4-event pattern)."""
+    result = ExperimentResult(
+        "fig6",
+        f"Continuation response time vs topK ({dataset})",
+        ["topK", "hybrid", "accurate", "fast"],
+    )
+    index, pattern = _fig67_setup(scale, dataset)
+    accurate, _ = timed(lambda: index.continuations(pattern, mode="accurate"))
+    fast, _ = timed(lambda: index.continuations(pattern, mode="fast"))
+    for top_k in top_ks:
+        hybrid, _ = timed(
+            lambda: index.continuations(pattern, mode="hybrid", top_k=top_k)
+        )
+        result.add(top_k, hybrid, accurate, fast)
+    result.note(f"pattern: {pattern}")
+    return result
+
+
+def exp_fig7(
+    scale: float,
+    dataset: str = "max_10000",
+    top_ks: Sequence[int] = (1, 2, 4, 8, 12, 16, 24, 32, 48),
+) -> ExperimentResult:
+    """Hybrid continuation accuracy vs topK (ground truth = Accurate)."""
+    result = ExperimentResult(
+        "fig7",
+        f"Continuation accuracy vs topK ({dataset})",
+        ["topK", "accuracy"],
+    )
+    index, pattern = _fig67_setup(scale, dataset)
+    reference = index.continuations(pattern, mode="accurate")
+    for top_k in top_ks:
+        hybrid = index.continuations(pattern, mode="hybrid", top_k=top_k)
+        accuracy = index.explorer.ranking_accuracy(reference, hybrid)
+        result.add(top_k, accuracy)
+    result.note(f"pattern: {pattern}")
+    return result
+
+
+#: every experiment, keyed by the name used on the runner command line
+ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
+    "table4": exp_table4,
+    "fig2": exp_fig2,
+    "table5": exp_table5,
+    "fig3": exp_fig3,
+    "table6": exp_table6,
+    "table7": exp_table7,
+    "fig4": exp_fig4,
+    "table8": exp_table8,
+    "fig5": exp_fig5,
+    "fig6": exp_fig6,
+    "fig7": exp_fig7,
+}

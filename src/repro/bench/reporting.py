@@ -1,0 +1,72 @@
+"""Result formatting and persistence for the experiment runner."""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: a header plus rows of cells."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def _render_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.3f}"
+        return f"{cell:.5f}"
+    return str(cell)
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Fixed-width text rendering in the paper's table style."""
+    rendered = [[_render_cell(cell) for cell in row] for row in result.rows]
+    widths = [len(col) for col in result.columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {result.experiment}: {result.title} =="]
+    lines.append(
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(result.columns))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def write_csv(result: ExperimentResult, directory: str) -> str:
+    """Persist one result as ``<directory>/<experiment>.csv``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.experiment}.csv")
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.columns)
+        for row in result.rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,89 @@
+"""Shared workload preparation for benchmarks and the experiment runner."""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable
+
+from repro.core.engine import SequenceIndex
+from repro.core.model import EventLog
+from repro.core.policies import PairMethod, Policy
+from repro.executor import ParallelExecutor
+from repro.kvstore import InMemoryStore
+from repro.logs.datasets import load_dataset
+
+_DATASET_CACHE: dict[tuple[str, float], EventLog] = {}
+_INDEX_CACHE: dict[tuple[str, float, Policy], SequenceIndex] = {}
+
+
+def timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once; return (elapsed seconds, return value)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def prepared_dataset(name: str, scale: float) -> EventLog:
+    """Load a registry dataset with process-wide caching."""
+    key = (name, scale)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_dataset(name, scale=scale)
+    return _DATASET_CACHE[key]
+
+
+def build_index(
+    log: EventLog,
+    policy: Policy = Policy.STNM,
+    method: PairMethod | None = None,
+    executor: ParallelExecutor | None = None,
+) -> SequenceIndex:
+    """Build a fresh in-memory index over ``log`` (the timed operation)."""
+    index = SequenceIndex(
+        InMemoryStore(), policy=policy, method=method, executor=executor
+    )
+    index.update(log)
+    return index
+
+
+def prepared_index(name: str, scale: float, policy: Policy) -> SequenceIndex:
+    """Cached index over a registry dataset (for query benchmarks)."""
+    key = (name, scale, policy)
+    if key not in _INDEX_CACHE:
+        _INDEX_CACHE[key] = build_index(prepared_dataset(name, scale), policy)
+    return _INDEX_CACHE[key]
+
+
+def stnm_patterns(
+    log: EventLog, length: int, count: int, seed: int = 0
+) -> list[list[str]]:
+    """Patterns sampled as gapped subsequences of real traces (STNM workload)."""
+    rng = random.Random(seed)
+    traces = [trace for trace in log if len(trace) >= length]
+    if not traces:
+        alphabet = sorted(log.activities())
+        return [
+            [rng.choice(alphabet) for _ in range(length)] for _ in range(count)
+        ]
+    patterns = []
+    for _ in range(count):
+        trace = rng.choice(traces)
+        positions = sorted(rng.sample(range(len(trace)), length))
+        patterns.append([trace.activities[i] for i in positions])
+    return patterns
+
+
+def contiguous_patterns(
+    log: EventLog, length: int, count: int, seed: int = 0
+) -> list[list[str]]:
+    """Patterns sampled as contiguous windows of real traces (SC workload)."""
+    rng = random.Random(seed)
+    traces = [trace for trace in log if len(trace) >= length]
+    if not traces:
+        return stnm_patterns(log, length, count, seed)
+    patterns = []
+    for _ in range(count):
+        trace = rng.choice(traces)
+        start = rng.randint(0, len(trace) - length)
+        patterns.append(trace.activities[start : start + length])
+    return patterns

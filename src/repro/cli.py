@@ -1,0 +1,200 @@
+"""Command-line interface: index logs and query them from a shell.
+
+Examples::
+
+    python -m repro generate --dataset med_5000 --scale 0.1 --out log.csv
+    python -m repro index --log log.csv --store ./ix --policy stnm
+    python -m repro detect --store ./ix A,B,C
+    python -m repro stats  --store ./ix A,B,C
+    python -m repro continue --store ./ix A,B --mode hybrid --top-k 5
+    python -m repro profile --log log.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import SequenceIndex
+from repro.core.policies import PairMethod, Policy
+from repro.executor import ParallelExecutor
+from repro.kvstore import LSMStore
+from repro.logs.csv_log import read_csv_log, write_csv_log
+from repro.logs.datasets import DATASETS, load_dataset
+from repro.logs.stats import format_distributions, format_profile_table, profile_log
+from repro.logs.xes import read_xes, write_xes
+
+_POLICIES = {"sc": Policy.SC, "stnm": Policy.STNM}
+_METHODS = {m.value: m for m in PairMethod}
+
+
+def _read_log(path: str):
+    if path.endswith(".xes"):
+        return read_xes(path)
+    return read_csv_log(path)
+
+
+def _open_index(args: argparse.Namespace) -> SequenceIndex:
+    policy = _POLICIES[getattr(args, "policy", "stnm")]
+    method = _METHODS[args.method] if getattr(args, "method", None) else None
+    executor = None
+    workers = getattr(args, "workers", None)
+    if workers and workers > 1:
+        executor = ParallelExecutor(backend="process", max_workers=workers)
+    return SequenceIndex(
+        LSMStore(args.store), policy=policy, method=method, executor=executor
+    )
+
+
+def _pattern(raw: str) -> list[str]:
+    pattern = [part.strip() for part in raw.split(",") if part.strip()]
+    if not pattern:
+        raise SystemExit("pattern must be a comma-separated list of activities")
+    return pattern
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    log = load_dataset(args.dataset, scale=args.scale)
+    if args.out.endswith(".xes"):
+        write_xes(log, args.out)
+    else:
+        write_csv_log(log, args.out)
+    print(f"wrote {log.num_events} events / {len(log)} traces to {args.out}")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    log = _read_log(args.log)
+    with _open_index(args) as index:
+        stats = index.update(log, partition=args.partition)
+        print(
+            f"indexed {stats.events_indexed} events from {stats.traces_seen} "
+            f"traces ({stats.new_traces} new), {stats.pairs_created} pairs"
+            + (f" into partition {args.partition!r}" if args.partition else "")
+        )
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    pattern = _pattern(args.pattern)
+    with _open_index(args) as index:
+        policy = Policy.STAM if args.stam else None
+        matches = index.detect(
+            pattern,
+            partition=args.partition if args.partition else None,
+            policy=policy,
+            max_matches=args.limit,
+            within=args.within,
+        )
+        print(f"{len(matches)} completions of {pattern}")
+        for match in matches[: args.show]:
+            stamps = ", ".join(f"{ts:g}" for ts in match.timestamps)
+            print(f"  {match.trace_id}: [{stamps}]")
+        if len(matches) > args.show:
+            print(f"  ... and {len(matches) - args.show} more")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    pattern = _pattern(args.pattern)
+    with _open_index(args) as index:
+        stats = index.statistics(pattern)
+        for row in stats.pairs:
+            last = f"{row.last_completion:g}" if row.last_completion is not None else "-"
+            print(
+                f"{row.pair[0]} -> {row.pair[1]}: completions={row.completions} "
+                f"avg_duration={row.average_duration:g} last={last}"
+            )
+        print(
+            f"pattern upper bound: {stats.max_completions} completions, "
+            f"estimated duration {stats.estimated_duration:g}"
+        )
+    return 0
+
+
+def cmd_continue(args: argparse.Namespace) -> int:
+    pattern = _pattern(args.pattern)
+    with _open_index(args) as index:
+        proposals = index.continuations(
+            pattern, mode=args.mode, top_k=args.top_k, within=args.within
+        )
+        for proposal in proposals[: args.show]:
+            exact = "exact" if proposal.exact else "approx"
+            print(
+                f"{proposal.event}: completions={proposal.completions} "
+                f"avg_gap={proposal.average_duration:g} "
+                f"score={proposal.score:g} ({exact})"
+            )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    log = _read_log(args.log)
+    profile = profile_log(log, name=args.log)
+    print(format_profile_table([profile]))
+    print(format_distributions([profile]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Sequence detection in event log files"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a registry dataset")
+    gen.add_argument("--dataset", choices=DATASETS, required=True)
+    gen.add_argument("--scale", type=float, default=1.0)
+    gen.add_argument("--out", required=True, help=".csv or .xes output path")
+    gen.set_defaults(fn=cmd_generate)
+
+    def add_store_args(p, with_build=False):
+        p.add_argument("--store", required=True, help="index store directory")
+        p.add_argument("--policy", choices=sorted(_POLICIES), default="stnm")
+        if with_build:
+            p.add_argument("--method", choices=sorted(_METHODS), default=None)
+            p.add_argument("--workers", type=int, default=1)
+            p.add_argument("--partition", default="", help="index partition name")
+
+    idx = sub.add_parser("index", help="index a log file into a store")
+    idx.add_argument("--log", required=True, help=".csv or .xes log file")
+    add_store_args(idx, with_build=True)
+    idx.set_defaults(fn=cmd_index)
+
+    det = sub.add_parser("detect", help="detect a pattern")
+    det.add_argument("pattern", help="comma-separated activities, e.g. A,B,C")
+    add_store_args(det)
+    det.add_argument("--partition", default="", help="partition ('' = default)")
+    det.add_argument("--stam", action="store_true", help="skip-till-any-match")
+    det.add_argument("--within", type=float, default=None)
+    det.add_argument("--limit", type=int, default=None)
+    det.add_argument("--show", type=int, default=20)
+    det.set_defaults(fn=cmd_detect)
+
+    sta = sub.add_parser("stats", help="pairwise statistics of a pattern")
+    sta.add_argument("pattern")
+    add_store_args(sta)
+    sta.set_defaults(fn=cmd_stats)
+
+    con = sub.add_parser("continue", help="rank likely next events")
+    con.add_argument("pattern")
+    add_store_args(con)
+    con.add_argument("--mode", choices=("accurate", "fast", "hybrid"), default="hybrid")
+    con.add_argument("--top-k", type=int, default=5)
+    con.add_argument("--within", type=float, default=None)
+    con.add_argument("--show", type=int, default=10)
+    con.set_defaults(fn=cmd_continue)
+
+    pro = sub.add_parser("profile", help="dataset shape of a log file")
+    pro.add_argument("--log", required=True)
+    pro.set_defaults(fn=cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,326 @@
+"""The pre-processing component: builds and incrementally updates the index.
+
+Implements Algorithm 1 of the paper.  New log events arrive in batches; for
+each affected trace the builder
+
+1. loads the already-indexed sequence from the ``Seq`` table and appends the
+   new events (logs are append-only per trace: a new event older than the
+   stored tail violates Definition 2.1 and is rejected);
+2. creates the new event pairs -- a full run of the configured pair-creation
+   flavor for a brand-new trace, or, for a known trace, a per-pair greedy
+   re-match restricted to events *after* the pair's ``LastChecked``
+   completion (which provably adds exactly the pairs a full rebuild would);
+3. merges the results into ``Index``, ``Count``, ``ReverseCount``,
+   ``LastChecked`` and ``Seq`` as blind merge-writes.
+
+Pair computation is a pure per-trace function, dispatched through a
+:class:`~repro.executor.parallel.ParallelExecutor` exactly like the paper's
+per-trace Spark parallelism.  Store writes happen on the calling thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import TraceOrderError
+from repro.core.model import Event, EventLog
+from repro.core.pairs import (
+    PairDict,
+    create_pairs,
+    occurrence_lists,
+    pairs_after,
+)
+from repro.core.policies import PairMethod, Policy, default_method
+from repro.core.tables import IndexTables
+from repro.executor import ParallelExecutor
+from repro.kvstore.api import KeyValueStore
+
+SeqList = list[tuple[str, float]]
+
+
+@dataclass
+class UpdateStats:
+    """What one :meth:`IndexBuilder.update` call did."""
+
+    traces_seen: int = 0
+    new_traces: int = 0
+    events_indexed: int = 0
+    pairs_created: int = 0
+    partition: str = ""
+
+
+@dataclass
+class _TraceWork:
+    """Input to the per-trace pair computation (picklable for process pools)."""
+
+    trace_id: str
+    old_seq: SeqList
+    new_seq: SeqList
+    last_checked: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def _compute_trace_pairs(
+    work: _TraceWork, method: PairMethod
+) -> tuple[str, PairDict]:
+    """Pure per-trace pair creation (Algorithm 1 lines 5-13)."""
+    if not work.old_seq:
+        activities = [activity for activity, _ in work.new_seq]
+        timestamps = [ts for _, ts in work.new_seq]
+        return work.trace_id, create_pairs(activities, timestamps, method)
+    if method is PairMethod.STRICT:
+        # SC pairs gained by the batch: the boundary pair plus consecutive
+        # new pairs.  LastChecked is not needed -- adjacency is local.
+        pairs: PairDict = {}
+        boundary = [work.old_seq[-1]] + work.new_seq
+        for (act_a, ts_a), (act_b, ts_b) in zip(boundary, boundary[1:]):
+            pairs.setdefault((act_a, act_b), []).append((ts_a, ts_b))
+        return work.trace_id, pairs
+    full_seq = work.old_seq + work.new_seq
+    occurrences = occurrence_lists(
+        [activity for activity, _ in full_seq], [ts for _, ts in full_seq]
+    )
+    new_types = {activity for activity, _ in work.new_seq}
+    all_types = set(occurrences)
+    pairs = {}
+    for a in all_types:
+        for b in all_types:
+            if a not in new_types and b not in new_types:
+                continue  # a pair of two old-only types cannot gain matches
+            matched = pairs_after(
+                occurrences, a, b, work.last_checked.get((a, b))
+            )
+            if matched:
+                pairs[(a, b)] = matched
+    return work.trace_id, pairs
+
+
+class _AggregatedBatch:
+    """Write-ready table deltas for a set of traces.
+
+    Workers aggregate their partition's pair dictionaries into this form so
+    that (a) cross-process result transfer ships a handful of large dicts
+    instead of one per trace and (b) the main thread only merges partitions
+    instead of re-walking every pair.
+    """
+
+    __slots__ = ("index", "counts", "reverse", "checked", "pairs_created")
+
+    def __init__(self) -> None:
+        self.index: dict[tuple[str, str], list[tuple[str, float, float]]] = {}
+        self.counts: dict[str, dict[str, list[float]]] = {}
+        self.reverse: dict[str, dict[str, list[float]]] = {}
+        self.checked: dict[tuple[str, str], dict[str, float]] = {}
+        self.pairs_created = 0
+
+    def add_trace(self, trace_id: str, pair_dict: PairDict) -> None:
+        index = self.index
+        counts = self.counts
+        reverse = self.reverse
+        checked = self.checked
+        for pair, ts_pairs in pair_dict.items():
+            count = len(ts_pairs)
+            self.pairs_created += count
+            entries = index.get(pair)
+            if entries is None:
+                entries = index[pair] = []
+            duration = 0.0
+            append = entries.append
+            for ts_a, ts_b in ts_pairs:
+                duration += ts_b - ts_a
+                append((trace_id, ts_a, ts_b))
+            first, second = pair
+            slot = counts.setdefault(first, {}).setdefault(second, [0.0, 0])
+            slot[0] += duration
+            slot[1] += count
+            rslot = reverse.setdefault(second, {}).setdefault(first, [0.0, 0])
+            rslot[0] += duration
+            rslot[1] += count
+            last = checked.setdefault(pair, {})
+            tail = ts_pairs[-1][1]
+            if trace_id not in last or tail > last[trace_id]:
+                last[trace_id] = tail
+
+    def merge(self, other: "_AggregatedBatch") -> None:
+        """Fold another partition's deltas into this one."""
+        self.pairs_created += other.pairs_created
+        for pair, entries in other.index.items():
+            self.index.setdefault(pair, []).extend(entries)
+        for first, per_second in other.counts.items():
+            mine = self.counts.setdefault(first, {})
+            for second, (duration, count) in per_second.items():
+                slot = mine.setdefault(second, [0.0, 0])
+                slot[0] += duration
+                slot[1] += count
+        for second, per_first in other.reverse.items():
+            mine = self.reverse.setdefault(second, {})
+            for first, (duration, count) in per_first.items():
+                slot = mine.setdefault(first, [0.0, 0])
+                slot[0] += duration
+                slot[1] += count
+        for pair, completions in other.checked.items():
+            mine = self.checked.setdefault(pair, {})
+            for trace_id, tail in completions.items():
+                if trace_id not in mine or tail > mine[trace_id]:
+                    mine[trace_id] = tail
+
+
+class _PartitionJob:
+    """Process a partition of trace works into one aggregated batch."""
+
+    def __init__(self, method: PairMethod) -> None:
+        self.method = method
+
+    def __call__(self, works: list[_TraceWork]) -> list[_AggregatedBatch]:
+        batch = _AggregatedBatch()
+        for work in works:
+            trace_id, pair_dict = _compute_trace_pairs(work, self.method)
+            batch.add_trace(trace_id, pair_dict)
+        return [batch]
+
+
+class IndexBuilder:
+    """Builds/updates the inverted pair index inside a key-value store."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        policy: Policy = Policy.STNM,
+        method: PairMethod | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> None:
+        if not policy.indexable:
+            raise ValueError(f"policy {policy} cannot be indexed; use SC or STNM")
+        if method is None:
+            method = default_method(policy)
+        if method.policy is not policy:
+            raise ValueError(
+                f"pair method {method.value!r} produces {method.policy.value!r} "
+                f"pairs, not {policy.value!r}"
+            )
+        self.policy = policy
+        self.method = method
+        self.executor = executor or ParallelExecutor.serial()
+        self.tables = IndexTables(store)
+        self.tables.ensure_schema()
+        self.tables.check_configuration(policy, method)
+
+    # -- public API -------------------------------------------------------------
+
+    def update(
+        self,
+        new_events: EventLog | Iterable[Event],
+        partition: str = "",
+    ) -> UpdateStats:
+        """Index a batch of new events (Algorithm 1).
+
+        ``partition`` selects a per-period Index table (§3.1.3); statistics
+        tables are always global.
+        """
+        batches = self._group_new_events(new_events)
+        stats = UpdateStats(partition=partition)
+        if not batches:
+            return stats
+        self.tables.ensure_partition(partition)
+        self.tables.register_partition(partition)
+        work_items = self._prepare_work(batches, stats)
+        job = _PartitionJob(self.method)
+        partials = self.executor.map_partitions(job, work_items)
+        aggregated = _AggregatedBatch()
+        for partial in partials:
+            aggregated.merge(partial)
+        self._write_results(work_items, aggregated, partition, stats)
+        return stats
+
+    def build(self, log: EventLog, partition: str = "") -> UpdateStats:
+        """Index a whole log from scratch (convenience alias of update)."""
+        return self.update(log, partition)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _group_new_events(
+        self, new_events: EventLog | Iterable[Event]
+    ) -> dict[str, SeqList]:
+        if isinstance(new_events, EventLog):
+            return {
+                trace.trace_id: trace.pairs_view()
+                for trace in new_events
+                if len(trace)
+            }
+        grouped: dict[str, list[Event]] = {}
+        for event in new_events:
+            grouped.setdefault(event.trace_id, []).append(event)
+        batches: dict[str, SeqList] = {}
+        for trace_id, events in grouped.items():
+            if any(ev.timestamp is None for ev in events):
+                raise TraceOrderError(
+                    f"batch events for trace {trace_id!r} must carry timestamps; "
+                    "wrap them in an EventLog for position-based stamping"
+                )
+            events.sort(key=lambda ev: ev.timestamp)
+            seq: SeqList = []
+            previous: float | None = None
+            for event in events:
+                if previous is not None and event.timestamp <= previous:
+                    raise TraceOrderError(
+                        f"trace {trace_id!r} batch has non-increasing timestamps"
+                    )
+                previous = event.timestamp
+                seq.append((event.activity, event.timestamp))
+            batches[trace_id] = seq
+        return batches
+
+    def _prepare_work(
+        self, batches: dict[str, SeqList], stats: UpdateStats
+    ) -> list[_TraceWork]:
+        work_items: list[_TraceWork] = []
+        last_checked_cache: dict[tuple[str, str], dict[str, float]] = {}
+        for trace_id, new_seq in batches.items():
+            old_seq = self.tables.get_sequence(trace_id)
+            if old_seq and new_seq[0][1] <= old_seq[-1][1]:
+                raise TraceOrderError(
+                    f"trace {trace_id!r}: new events start at {new_seq[0][1]!r} "
+                    f"but the indexed sequence already ends at {old_seq[-1][1]!r}"
+                )
+            stats.traces_seen += 1
+            if not old_seq:
+                stats.new_traces += 1
+            stats.events_indexed += len(new_seq)
+            work = _TraceWork(trace_id, old_seq, new_seq)
+            if old_seq and self.method is not PairMethod.STRICT:
+                # Algorithm 1 line 3: join LastChecked with the batch traces.
+                new_types = {activity for activity, _ in new_seq}
+                all_types = {activity for activity, _ in old_seq} | new_types
+                for a in all_types:
+                    for b in all_types:
+                        if a not in new_types and b not in new_types:
+                            continue
+                        pair = (a, b)
+                        if pair not in last_checked_cache:
+                            last_checked_cache[pair] = self.tables.get_last_checked(
+                                pair
+                            )
+                        completion = last_checked_cache[pair].get(trace_id)
+                        if completion is not None:
+                            work.last_checked[pair] = completion
+            work_items.append(work)
+        return work_items
+
+    def _write_results(
+        self,
+        work_items: list[_TraceWork],
+        aggregated: _AggregatedBatch,
+        partition: str,
+        stats: UpdateStats,
+    ) -> None:
+        stats.pairs_created = aggregated.pairs_created
+        for work in work_items:
+            self.tables.append_sequence(work.trace_id, work.new_seq)
+        for pair, entries in aggregated.index.items():
+            self.tables.append_index(pair, entries, partition)
+        for first, per_second in aggregated.counts.items():
+            self.tables.add_counts(first, per_second)
+        for second, per_first in aggregated.reverse.items():
+            self.tables.add_reverse_counts(second, per_first)
+        for pair, completions in aggregated.checked.items():
+            self.tables.update_last_checked(pair, completions)

@@ -1,0 +1,188 @@
+"""`SequenceIndex`: the facade tying pre-processing and querying together.
+
+This is the class downstream users interact with::
+
+    from repro import SequenceIndex, Policy
+    from repro.kvstore import LSMStore
+
+    index = SequenceIndex(LSMStore("/data/index"), policy=Policy.STNM)
+    index.update(new_log)                      # periodic batch (Algorithm 1)
+    index.detect(["search", "search", "buy"])  # pattern detection
+    index.statistics(["a", "b", "c"])          # pairwise statistics
+    index.continuations(["a", "b"], mode="hybrid", top_k=5)
+
+The store argument accepts any :class:`~repro.kvstore.api.KeyValueStore`;
+omitting it uses an in-memory store (useful for exploration and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.builder import IndexBuilder, UpdateStats
+from repro.core.continuation import ContinuationExplorer
+from repro.core.matches import ContinuationProposal, PatternMatch, PatternStats
+from repro.core.model import Event, EventLog
+from repro.core.policies import PairMethod, Policy
+from repro.core.query import QueryProcessor
+from repro.executor import ParallelExecutor
+from repro.kvstore import InMemoryStore
+from repro.kvstore.api import KeyValueStore
+
+_MODES = ("accurate", "fast", "hybrid")
+
+
+class SequenceIndex:
+    """Inverted event-pair index over an event log collection."""
+
+    def __init__(
+        self,
+        store: KeyValueStore | None = None,
+        policy: Policy = Policy.STNM,
+        method: PairMethod | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> None:
+        self.store = store if store is not None else InMemoryStore()
+        self.builder = IndexBuilder(self.store, policy, method, executor)
+        self.tables = self.builder.tables
+        self.query = QueryProcessor(self.tables)
+        self.explorer = ContinuationExplorer(self.tables, self.query)
+
+    @property
+    def policy(self) -> Policy:
+        return self.builder.policy
+
+    @property
+    def method(self) -> PairMethod:
+        return self.builder.method
+
+    # -- pre-processing -----------------------------------------------------------
+
+    def update(
+        self, new_events: EventLog | Iterable[Event], partition: str = ""
+    ) -> UpdateStats:
+        """Index a batch of new events (incremental, duplicate-free)."""
+        return self.builder.update(new_events, partition)
+
+    def prune_trace(self, trace_id: str) -> None:
+        """Forget a completed trace's update bookkeeping (§3.1.3).
+
+        Queries over already-indexed pairs keep working; the trace simply
+        can no longer receive incremental appends.
+        """
+        seq = self.tables.get_sequence(trace_id)
+        alphabet = {activity for activity, _ in seq}
+        self.tables.prune_trace(trace_id, alphabet)
+
+    def flush(self) -> None:
+        """Flush the underlying store (durable backends)."""
+        self.store.flush()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "SequenceIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- queries ----------------------------------------------------------------------
+
+    def detect(
+        self,
+        pattern: Sequence[str],
+        partition: str | None = "",
+        policy: Policy | None = None,
+        max_matches: int | None = None,
+        within: float | None = None,
+    ) -> list[PatternMatch]:
+        """All completions of ``pattern`` (Algorithm 2)."""
+        return self.query.detect(pattern, partition, policy, max_matches, within)
+
+    def count(
+        self,
+        pattern: Sequence[str],
+        partition: str | None = "",
+        within: float | None = None,
+    ) -> int:
+        """Number of completions of ``pattern``."""
+        return self.query.count(pattern, partition, within)
+
+    def detect_with_prefixes(
+        self, pattern: Sequence[str], partition: str | None = ""
+    ) -> dict[int, list[PatternMatch]]:
+        """Completions of the pattern and every prefix (free by-product)."""
+        return self.query.detect_with_prefixes(pattern, partition)
+
+    def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
+        """Ids of traces containing ``pattern``."""
+        return self.query.contains(pattern, partition)
+
+    def statistics(self, pattern: Sequence[str], all_pairs: bool = False) -> PatternStats:
+        """Pairwise statistics of ``pattern`` (constant-time per pair).
+
+        ``all_pairs=True`` also reads every non-adjacent pattern pair for a
+        tighter completions bound (§3.2.1's accuracy/time trade-off).
+        """
+        return self.query.statistics(pattern, all_pairs)
+
+    def continuations(
+        self,
+        pattern: Sequence[str],
+        mode: str = "hybrid",
+        top_k: int = 5,
+        within: float | None = None,
+        partition: str | None = "",
+    ) -> list[ContinuationProposal]:
+        """Ranked candidate next events (Algorithms 3-5, Equation 1)."""
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if mode == "accurate":
+            return self.explorer.accurate(pattern, within, partition)
+        if mode == "fast":
+            return self.explorer.fast(pattern)
+        return self.explorer.hybrid(pattern, top_k, within, partition)
+
+    def explore_at(
+        self, pattern: Sequence[str], position: int, partition: str | None = ""
+    ) -> list[ContinuationProposal]:
+        """Propose insertions at arbitrary pattern positions (§7 extension)."""
+        return self.explorer.explore_at(pattern, position, partition)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        """Ids of traces currently tracked in the Seq table."""
+        return [trace_id for trace_id, _ in self.tables.iter_sequences()]
+
+    def get_trace(self, trace_id: str) -> list[tuple[str, float]]:
+        """The indexed ``(activity, timestamp)`` sequence of one trace."""
+        return self.tables.get_sequence(trace_id)
+
+    def top_pairs(self, k: int = 10) -> list[tuple[tuple[str, str], int]]:
+        """The ``k`` most frequent event pairs, from the Count table.
+
+        A cheap exploratory primitive (one table scan, no detection): which
+        follow-relations dominate the log.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        frequencies: list[tuple[tuple[str, str], int]] = []
+        for key, per_second in self.store.scan("count"):
+            first = key[0]
+            for second, stats in per_second.items():
+                frequencies.append(((first, second), int(stats[1])))
+        frequencies.sort(key=lambda item: (-item[1], item[0]))
+        return frequencies[:k]
+
+    def activities(self) -> set[str]:
+        """Activity alphabet observed by the index (via the Count tables)."""
+        alphabet: set[str] = set()
+        for key, value in self.store.scan("count"):
+            alphabet.add(key[0])
+            alphabet.update(value)
+        for key, value in self.store.scan("reverse_count"):
+            alphabet.add(key[0])
+            alphabet.update(value)
+        return alphabet

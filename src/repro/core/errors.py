@@ -1,0 +1,23 @@
+"""Exception hierarchy of the core library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class TraceOrderError(ReproError):
+    """Events in a trace violate the strict total order of Definition 2.1."""
+
+
+class EmptyPatternError(ReproError):
+    """A query pattern was empty or too short for the requested operation."""
+
+
+class PolicyMismatchError(ReproError):
+    """A query asked for a policy the index was not built with."""
+
+
+class IndexStateError(ReproError):
+    """The index store is missing tables or metadata it should contain."""

@@ -1,0 +1,235 @@
+"""Event log formalism (Definition 2.1 of the paper).
+
+A log ``L = (E, C, gamma, delta, ts, <=)`` maps onto three classes:
+
+* :class:`Event` -- one element of ``E``: a trace id (``gamma``), an
+  activity (``delta``), and a timestamp (``ts``);
+* :class:`Trace` -- one case of ``C``: the events of a single logical unit
+  of execution under the strict total order ``<=``;
+* :class:`EventLog` -- the full log: a keyed collection of traces plus the
+  activity alphabet ``A``.
+
+Timestamps are numbers (int or float).  As the paper notes (§3.1.1), the
+approach also works without timestamps: pass ``timestamp=None`` and the
+event's position in its trace is used.  Within a trace, timestamps must be
+*strictly increasing* after sorting -- ties would break the total order that
+the detection join (Algorithm 2) relies on -- and violations raise
+:class:`~repro.core.errors.TraceOrderError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.errors import TraceOrderError
+
+Timestamp = float | int
+TraceId = str
+
+
+class Event:
+    """A single timestamped, typed occurrence inside a trace."""
+
+    __slots__ = ("trace_id", "activity", "timestamp", "attributes")
+
+    def __init__(
+        self,
+        trace_id: TraceId,
+        activity: str,
+        timestamp: Timestamp | None = None,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.activity = activity
+        self.timestamp = timestamp
+        self.attributes = dict(attributes) if attributes else None
+
+    def __repr__(self) -> str:
+        return f"Event({self.trace_id!r}, {self.activity!r}, {self.timestamp!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.trace_id == other.trace_id
+            and self.activity == other.activity
+            and self.timestamp == other.timestamp
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.activity, self.timestamp))
+
+
+class Trace:
+    """The ordered event sequence of one case (session / process instance).
+
+    Construction sorts events by timestamp (stable, so input order breaks
+    exact ties deterministically *before* validation rejects them) and
+    validates the strict total order.  Events missing timestamps get their
+    position assigned, matching the paper's position-as-timestamp fallback.
+    """
+
+    __slots__ = ("trace_id", "_activities", "_timestamps")
+
+    def __init__(self, trace_id: TraceId, events: Iterable[Event] = ()) -> None:
+        self.trace_id = trace_id
+        events = list(events)
+        missing = [ev for ev in events if ev.timestamp is None]
+        if missing:
+            if len(missing) != len(events):
+                raise TraceOrderError(
+                    f"trace {trace_id!r} mixes timestamped and timestamp-free events"
+                )
+            for position, event in enumerate(events):
+                event.timestamp = position
+        else:
+            events.sort(key=lambda ev: ev.timestamp)
+        self._activities: list[str] = []
+        self._timestamps: list[Timestamp] = []
+        previous: Timestamp | None = None
+        for event in events:
+            if event.trace_id != trace_id:
+                raise TraceOrderError(
+                    f"event {event!r} belongs to trace {event.trace_id!r}, "
+                    f"not {trace_id!r}"
+                )
+            ts = event.timestamp
+            if previous is not None and ts <= previous:
+                raise TraceOrderError(
+                    f"trace {trace_id!r} has non-increasing timestamps "
+                    f"({previous!r} then {ts!r}); Definition 2.1 requires a "
+                    "strict total order per trace"
+                )
+            previous = ts
+            self._activities.append(event.activity)
+            self._timestamps.append(ts)
+
+    @classmethod
+    def from_pairs(
+        cls, trace_id: TraceId, pairs: Iterable[tuple[str, Timestamp]]
+    ) -> "Trace":
+        """Build from ``(activity, timestamp)`` tuples (the compact form)."""
+        return cls(trace_id, (Event(trace_id, a, ts) for a, ts in pairs))
+
+    @classmethod
+    def from_activities(cls, trace_id: TraceId, activities: Iterable[str]) -> "Trace":
+        """Build a timestamp-free trace; positions become timestamps."""
+        return cls(trace_id, (Event(trace_id, a, None) for a in activities))
+
+    @property
+    def activities(self) -> list[str]:
+        """Activity names in temporal order (do not mutate)."""
+        return self._activities
+
+    @property
+    def timestamps(self) -> list[Timestamp]:
+        """Timestamps in temporal order, parallel to :attr:`activities`."""
+        return self._timestamps
+
+    def pairs_view(self) -> list[tuple[str, Timestamp]]:
+        """The ``(activity, timestamp)`` tuples of this trace, in order."""
+        return list(zip(self._activities, self._timestamps))
+
+    def alphabet(self) -> set[str]:
+        """Distinct activities appearing in this trace."""
+        return set(self._activities)
+
+    def __len__(self) -> int:
+        return len(self._activities)
+
+    def __iter__(self) -> Iterator[Event]:
+        for activity, ts in zip(self._activities, self._timestamps):
+            yield Event(self.trace_id, activity, ts)
+
+    def __getitem__(self, index: int) -> Event:
+        return Event(self.trace_id, self._activities[index], self._timestamps[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.trace_id == other.trace_id
+            and self._activities == other._activities
+            and self._timestamps == other._timestamps
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace({self.trace_id!r}, {len(self)} events)"
+
+
+class EventLog:
+    """A keyed collection of traces -- the unit the index builder consumes."""
+
+    def __init__(self, traces: Iterable[Trace] = (), name: str = "") -> None:
+        self.name = name
+        self._traces: dict[TraceId, Trace] = {}
+        for trace in traces:
+            if trace.trace_id in self._traces:
+                raise ValueError(f"duplicate trace id {trace.trace_id!r}")
+            self._traces[trace.trace_id] = trace
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event], name: str = "") -> "EventLog":
+        """Group a flat event stream into traces (the log-database row form)."""
+        grouped: dict[TraceId, list[Event]] = {}
+        for event in events:
+            grouped.setdefault(event.trace_id, []).append(event)
+        return cls(
+            (Trace(trace_id, evs) for trace_id, evs in grouped.items()), name=name
+        )
+
+    @classmethod
+    def from_dict(
+        cls, traces: Mapping[TraceId, Iterable[str]], name: str = ""
+    ) -> "EventLog":
+        """Build a timestamp-free log from ``{trace_id: [activity, ...]}``."""
+        return cls(
+            (Trace.from_activities(tid, acts) for tid, acts in traces.items()),
+            name=name,
+        )
+
+    def add_trace(self, trace: Trace) -> None:
+        """Insert a trace; the id must be new."""
+        if trace.trace_id in self._traces:
+            raise ValueError(f"duplicate trace id {trace.trace_id!r}")
+        self._traces[trace.trace_id] = trace
+
+    @property
+    def trace_ids(self) -> list[TraceId]:
+        return list(self._traces)
+
+    def trace(self, trace_id: TraceId) -> Trace:
+        return self._traces[trace_id]
+
+    def __contains__(self, trace_id: TraceId) -> bool:
+        return trace_id in self._traces
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self._traces.values())
+
+    @property
+    def num_events(self) -> int:
+        """Total events across traces (``|E|``)."""
+        return sum(len(trace) for trace in self._traces.values())
+
+    def activities(self) -> set[str]:
+        """The activity alphabet ``A``."""
+        alphabet: set[str] = set()
+        for trace in self._traces.values():
+            alphabet.update(trace.activities)
+        return alphabet
+
+    def events(self) -> Iterator[Event]:
+        """Flat iterator over all events, trace by trace."""
+        for trace in self._traces.values():
+            yield from trace
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLog(name={self.name!r}, traces={len(self)}, "
+            f"events={self.num_events})"
+        )

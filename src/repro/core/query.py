@@ -1,0 +1,269 @@
+"""The query processor component (§3.2): statistics and pattern detection.
+
+*Statistics* queries read only the ``Count`` and ``LastChecked`` tables --
+constant work per pattern pair.  *Pattern detection* (Algorithm 2) fetches
+the inverted-index entries of every consecutive pattern pair and chains them
+per trace by joining on the shared event's timestamp.  Because the index's
+pairs are greedy and non-overlapping, a chain extends in at most one way,
+so the join is a hash lookup per partial chain.
+
+The detection by-product the paper mentions -- matches of every pattern
+*prefix* -- is available through :meth:`QueryProcessor.detect_with_prefixes`.
+
+Skip-till-any-match (STAM, §7 future work) is supported as an extension:
+the pair index prunes to candidate traces (any STAM match implies the
+corresponding STNM pairs exist), then the stored sequence is enumerated
+exhaustively per candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import EmptyPatternError
+from repro.core.matches import PairStats, PatternMatch, PatternStats
+from repro.core.policies import Policy
+from repro.core.tables import IndexTables
+
+Chain = tuple[float, ...]
+
+
+class QueryProcessor:
+    """Executes pattern queries against the index tables."""
+
+    def __init__(self, tables: IndexTables) -> None:
+        self.tables = tables
+
+    # -- statistics (§3.2.1 "Statistics") ---------------------------------------
+
+    def statistics(self, pattern: Sequence[str], all_pairs: bool = False) -> PatternStats:
+        """Pairwise statistics for ``pattern`` plus derived aggregates.
+
+        Returns one :class:`PairStats` per consecutive pair; the
+        :class:`PatternStats` wrapper exposes the paper's upper bound on
+        whole-pattern completions and the summed average duration estimate.
+
+        With ``all_pairs=True``, statistics of every non-adjacent pattern
+        pair are also fetched, tightening the completions bound at the cost
+        of O(p^2) instead of O(p) ``Count`` look-ups (the accuracy/time
+        trade-off §3.2.1 describes).
+        """
+        if len(pattern) < 2:
+            raise EmptyPatternError("statistics need a pattern of length >= 2")
+        rows = [
+            self._pair_stats(first, second)
+            for first, second in zip(pattern, pattern[1:])
+        ]
+        extras = []
+        if all_pairs:
+            for i in range(len(pattern)):
+                for j in range(i + 2, len(pattern)):
+                    extras.append(self._pair_stats(pattern[i], pattern[j]))
+        return PatternStats(
+            pattern=tuple(pattern), pairs=tuple(rows), extra_pairs=tuple(extras)
+        )
+
+    def _pair_stats(self, first: str, second: str) -> PairStats:
+        total_duration, completions = self.tables.get_pair_count((first, second))
+        last = self.tables.get_last_completion((first, second))
+        return PairStats(
+            pair=(first, second),
+            completions=completions,
+            total_duration=total_duration,
+            last_completion=last,
+        )
+
+    # -- pattern detection (Algorithm 2) ------------------------------------------
+
+    def detect(
+        self,
+        pattern: Sequence[str],
+        partition: str | None = "",
+        policy: Policy | None = None,
+        max_matches: int | None = None,
+        within: float | None = None,
+    ) -> list[PatternMatch]:
+        """All completions of ``pattern``, one match per completion.
+
+        ``partition=""`` queries the default index partition, a name queries
+        that period's partition, and ``None`` unions all partitions.  With
+        ``policy=Policy.STAM`` the relaxed overlapping semantics are used
+        (see the module docstring); ``max_matches`` caps STAM explosion.
+        ``within`` keeps only matches whose end-to-end span is at most that
+        long (a CEP-style WITHIN window applied at query time).
+        """
+        if len(pattern) == 0:
+            raise EmptyPatternError("cannot detect an empty pattern")
+        if within is not None and within < 0:
+            raise ValueError("within must be non-negative")
+        if policy is Policy.STAM:
+            matches = self._detect_stam(pattern, partition, max_matches)
+        elif len(pattern) == 1:
+            matches = self._detect_single(pattern[0])
+        else:
+            chains = self._chain(pattern, partition)
+            matches = [
+                PatternMatch(trace_id, chain)
+                for trace_id, trace_chains in sorted(chains.items())
+                for chain in trace_chains
+            ]
+        if within is not None:
+            matches = [m for m in matches if m.duration <= within]
+        return matches
+
+    def count(
+        self,
+        pattern: Sequence[str],
+        partition: str | None = "",
+        within: float | None = None,
+    ) -> int:
+        """Number of completions of ``pattern`` (detection without keeping
+        the matches around is still linear in their count)."""
+        return len(self.detect(pattern, partition, within=within))
+
+    def detect_with_prefixes(
+        self, pattern: Sequence[str], partition: str | None = ""
+    ) -> dict[int, list[PatternMatch]]:
+        """Matches for every prefix of ``pattern`` of length >= 2.
+
+        The paper notes these come for free: Algorithm 2 materialises each
+        prefix's chains on the way to the full pattern.
+        """
+        if len(pattern) < 2:
+            raise EmptyPatternError("prefix detection needs a pattern of length >= 2")
+        result: dict[int, list[PatternMatch]] = {}
+        chains = self._chain(pattern, partition, snapshots=result)
+        result[len(pattern)] = [
+            PatternMatch(trace_id, chain)
+            for trace_id, trace_chains in sorted(chains.items())
+            for chain in trace_chains
+        ]
+        return result
+
+    def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
+        """Ids of traces containing ``pattern`` at least once."""
+        return sorted({match.trace_id for match in self.detect(pattern, partition)})
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _detect_single(self, activity: str) -> list[PatternMatch]:
+        """Length-1 patterns: scan the Seq table (no pair exists to look up)."""
+        matches: list[PatternMatch] = []
+        for trace_id, seq in self.tables.iter_sequences():
+            for act, ts in seq:
+                if act == activity:
+                    matches.append(PatternMatch(trace_id, (ts,)))
+        return matches
+
+    def _chain(
+        self,
+        pattern: Sequence[str],
+        partition: str | None,
+        snapshots: dict[int, list[PatternMatch]] | None = None,
+    ) -> dict[str, list[Chain]]:
+        """Algorithm 2: join consecutive pair entries on shared timestamps."""
+        first_pair = (pattern[0], pattern[1])
+        grouped = self.tables.get_index_grouped(first_pair, partition)
+        previous: dict[str, list[Chain]] = {
+            trace_id: [(ts_a, ts_b) for ts_a, ts_b in entries]
+            for trace_id, entries in grouped.items()
+        }
+        for i in range(1, len(pattern) - 1):
+            if snapshots is not None:
+                snapshots[i + 1] = [
+                    PatternMatch(trace_id, chain)
+                    for trace_id, trace_chains in sorted(previous.items())
+                    for chain in trace_chains
+                ]
+            pair = (pattern[i], pattern[i + 1])
+            grouped = self.tables.get_index_grouped(pair, partition)
+            extended: dict[str, list[Chain]] = {}
+            for trace_id, chains in previous.items():
+                completions = grouped.get(trace_id)
+                if not completions:
+                    continue
+                # Non-overlapping pairs make ts_a unique within a trace.
+                by_first = {ts_a: ts_b for ts_a, ts_b in completions}
+                new_chains = []
+                for chain in chains:
+                    ts_b = by_first.get(chain[-1])
+                    if ts_b is not None:
+                        new_chains.append(chain + (ts_b,))
+                if new_chains:
+                    extended[trace_id] = new_chains
+            previous = extended
+            if not previous:
+                break
+        return previous
+
+    def _detect_stam(
+        self,
+        pattern: Sequence[str],
+        partition: str | None,
+        max_matches: int | None,
+    ) -> list[PatternMatch]:
+        """Skip-till-any-match via index pruning + per-trace enumeration."""
+        candidates = self._candidate_traces(pattern, partition)
+        matches: list[PatternMatch] = []
+        for trace_id in candidates:
+            seq = self.tables.get_sequence(trace_id)
+            budget = None if max_matches is None else max_matches - len(matches)
+            for chain in _enumerate_stam(seq, pattern, budget):
+                matches.append(PatternMatch(trace_id, chain))
+            if max_matches is not None and len(matches) >= max_matches:
+                break
+        return matches
+
+    def _candidate_traces(
+        self, pattern: Sequence[str], partition: str | None
+    ) -> list[str]:
+        """Traces containing every consecutive pair of the pattern.
+
+        Sound for STAM pruning: if a trace holds a STAM match then each
+        consecutive pair occurs in order, so the greedy STNM index has an
+        entry for it.
+        """
+        if len(pattern) == 1:
+            return sorted({m.trace_id for m in self._detect_single(pattern[0])})
+        survivors: set[str] | None = None
+        for first, second in zip(pattern, pattern[1:]):
+            grouped = self.tables.get_index_grouped((first, second), partition)
+            traces = set(grouped)
+            survivors = traces if survivors is None else survivors & traces
+            if not survivors:
+                return []
+        return sorted(survivors or set())
+
+
+def _enumerate_stam(
+    seq: list[tuple[str, float]],
+    pattern: Sequence[str],
+    max_matches: int | None,
+) -> list[Chain]:
+    """All (possibly overlapping) embeddings of ``pattern`` in ``seq``.
+
+    Depth-first over per-activity occurrence positions; ``max_matches``
+    bounds the output because the embedding count can be combinatorial.
+    """
+    positions: dict[str, list[int]] = {}
+    for idx, (activity, _) in enumerate(seq):
+        positions.setdefault(activity, []).append(idx)
+    for activity in pattern:
+        if activity not in positions:
+            return []
+    results: list[Chain] = []
+    timestamps = [ts for _, ts in seq]
+
+    def extend(step: int, last_index: int, chain: tuple[float, ...]) -> bool:
+        if step == len(pattern):
+            results.append(chain)
+            return max_matches is not None and len(results) >= max_matches
+        for idx in positions[pattern[step]]:
+            if idx <= last_index:
+                continue
+            if extend(step + 1, idx, chain + (timestamps[idx],)):
+                return True
+        return False
+
+    extend(0, -1, ())
+    return results

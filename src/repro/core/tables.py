@@ -1,0 +1,218 @@
+"""The five index tables of §3.1.2, plus a metadata table.
+
+Each table wraps one logical key-value table with the paper's schema:
+
+=============  ==========================  =========================================
+Table          Key                         Value
+=============  ==========================  =========================================
+Seq            trace_id                    [(activity, ts), ...] (append-merged)
+Index          (ev_a, ev_b)                [(trace_id, ts_a, ts_b), ...] (append)
+Count          ev_a                        {ev_b: [sum_duration, completions]}
+ReverseCount   ev_b                        {ev_a: [sum_duration, completions]}
+LastChecked    (ev_a, ev_b)                {trace_id: last_completion_ts} (max)
+Meta           "meta"                      {policy, method, ...}
+=============  ==========================  =========================================
+
+Values are written exclusively through merge operators, so index batches are
+blind appends -- the Cassandra pattern the paper's scalability rests on.
+
+The optional ``partition`` argument implements the paper's §3.1.3 note that
+"a separate index table can be used for different periods": every partition
+value gets its own ``Index`` table, and queries either target one partition
+or fan out over all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import IndexStateError
+from repro.core.policies import PairMethod, Policy
+from repro.kvstore.api import KeyValueStore
+
+SEQ = "seq"
+INDEX = "index"
+COUNT = "count"
+REVERSE_COUNT = "reverse_count"
+LAST_CHECKED = "last_checked"
+META = "meta"
+
+_DEFAULT_PARTITION = ""
+
+
+def _index_table(partition: str) -> str:
+    return INDEX if partition == _DEFAULT_PARTITION else f"{INDEX}:{partition}"
+
+
+class IndexTables:
+    """Typed accessors over the store tables used by builder and queries."""
+
+    def __init__(self, store: KeyValueStore) -> None:
+        self.store = store
+
+    # -- schema ------------------------------------------------------------
+
+    def ensure_schema(self) -> None:
+        """Create every fixed table (idempotent)."""
+        self.store.create_table(SEQ, merge_operator="list_append")
+        self.store.create_table(INDEX, merge_operator="list_append")
+        self.store.create_table(COUNT, merge_operator="counter_map")
+        self.store.create_table(REVERSE_COUNT, merge_operator="counter_map")
+        self.store.create_table(LAST_CHECKED, merge_operator="max_map")
+        self.store.create_table(META)
+
+    def ensure_partition(self, partition: str) -> None:
+        """Create the Index table for ``partition`` (idempotent)."""
+        self.store.create_table(_index_table(partition), merge_operator="list_append")
+
+    def partitions(self) -> list[str]:
+        """All index partitions present, default partition first.
+
+        Partition names come from the meta document; their tables are
+        re-checked with ``has_table`` at read time, so a meta entry whose
+        table was never created is harmless.
+        """
+        names = [_DEFAULT_PARTITION]
+        for name in self.get_meta().get("partitions", []):
+            if name != _DEFAULT_PARTITION:
+                names.append(name)
+        return names
+
+    # -- Meta ---------------------------------------------------------------
+
+    def get_meta(self) -> dict:
+        return self.store.get(META, "meta", {})
+
+    def put_meta(self, meta: dict) -> None:
+        self.store.put(META, "meta", meta)
+
+    def check_configuration(self, policy: Policy, method: PairMethod) -> None:
+        """Validate (or record) the policy/method this store was built with."""
+        meta = self.get_meta()
+        if not meta:
+            self.put_meta(
+                {"policy": policy.value, "method": method.value, "partitions": []}
+            )
+            return
+        if meta.get("policy") != policy.value:
+            raise IndexStateError(
+                f"store was built with policy {meta.get('policy')!r}, "
+                f"requested {policy.value!r}"
+            )
+
+    def register_partition(self, partition: str) -> None:
+        if partition == _DEFAULT_PARTITION:
+            return
+        meta = self.get_meta()
+        partitions = meta.setdefault("partitions", [])
+        if partition not in partitions:
+            partitions.append(partition)
+            self.put_meta(meta)
+
+    # -- Seq -----------------------------------------------------------------
+
+    def append_sequence(
+        self, trace_id: str, events: list[tuple[str, float]]
+    ) -> None:
+        self.store.merge(SEQ, trace_id, events)
+
+    def get_sequence(self, trace_id: str) -> list[tuple[str, float]]:
+        return [tuple(item) for item in self.store.get(SEQ, trace_id, [])]
+
+    def iter_sequences(self) -> Iterator[tuple[str, list[tuple[str, float]]]]:
+        for key, value in self.store.scan(SEQ):
+            yield key[0], [tuple(item) for item in value]
+
+    def delete_sequence(self, trace_id: str) -> None:
+        self.store.delete(SEQ, trace_id)
+
+    # -- Index ------------------------------------------------------------------
+
+    def append_index(
+        self,
+        pair: tuple[str, str],
+        entries: list[tuple[str, float, float]],
+        partition: str = _DEFAULT_PARTITION,
+    ) -> None:
+        self.store.merge(_index_table(partition), pair, entries)
+
+    def get_index(
+        self, pair: tuple[str, str], partition: str | None = _DEFAULT_PARTITION
+    ) -> list[tuple[str, float, float]]:
+        """Index entries for ``pair``; ``partition=None`` unions all partitions."""
+        if partition is not None:
+            raw = self.store.get(_index_table(partition), pair, [])
+            return [tuple(item) for item in raw]
+        merged: list[tuple[str, float, float]] = []
+        for name in self.partitions():
+            table = _index_table(name)
+            if not self.store.has_table(table):
+                continue
+            merged.extend(tuple(item) for item in self.store.get(table, pair, []))
+        return merged
+
+    def get_index_grouped(
+        self, pair: tuple[str, str], partition: str | None = _DEFAULT_PARTITION
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Index entries grouped per trace, each trace's list in time order."""
+        grouped: dict[str, list[tuple[float, float]]] = {}
+        for trace_id, ts_a, ts_b in self.get_index(pair, partition):
+            grouped.setdefault(trace_id, []).append((ts_a, ts_b))
+        for entries in grouped.values():
+            entries.sort()
+        return grouped
+
+    # -- Count / ReverseCount ------------------------------------------------------
+
+    def add_counts(
+        self, first: str, stats: dict[str, list[float]]
+    ) -> None:
+        """Merge ``{ev_b: [sum_duration, completions]}`` into Count[first]."""
+        self.store.merge(COUNT, first, stats)
+
+    def add_reverse_counts(self, second: str, stats: dict[str, list[float]]) -> None:
+        self.store.merge(REVERSE_COUNT, second, stats)
+
+    def get_counts(self, first: str) -> dict[str, tuple[float, int]]:
+        """``{ev_b: (sum_duration, completions)}`` for pairs starting at ``first``."""
+        raw = self.store.get(COUNT, first, {})
+        return {key: (vals[0], int(vals[1])) for key, vals in raw.items()}
+
+    def get_reverse_counts(self, second: str) -> dict[str, tuple[float, int]]:
+        raw = self.store.get(REVERSE_COUNT, second, {})
+        return {key: (vals[0], int(vals[1])) for key, vals in raw.items()}
+
+    def get_pair_count(self, pair: tuple[str, str]) -> tuple[float, int]:
+        """``(sum_duration, completions)`` for one pair; zeros when absent."""
+        stats = self.get_counts(pair[0]).get(pair[1])
+        return stats if stats is not None else (0.0, 0)
+
+    # -- LastChecked ------------------------------------------------------------------
+
+    def update_last_checked(
+        self, pair: tuple[str, str], completions: dict[str, float]
+    ) -> None:
+        self.store.merge(LAST_CHECKED, pair, completions)
+
+    def get_last_checked(self, pair: tuple[str, str]) -> dict[str, float]:
+        """Per-trace timestamp of the pair's most recent completion."""
+        return dict(self.store.get(LAST_CHECKED, pair, {}))
+
+    def get_last_completion(self, pair: tuple[str, str]) -> float | None:
+        """Most recent completion of ``pair`` across all traces."""
+        checked = self.get_last_checked(pair)
+        return max(checked.values()) if checked else None
+
+    def prune_trace(self, trace_id: str, alphabet: set[str]) -> None:
+        """Drop a completed trace from Seq and LastChecked (§3.1.3).
+
+        The Index entries remain valid for queries; only the bookkeeping
+        needed for future incremental updates is released.
+        """
+        self.delete_sequence(trace_id)
+        for a in alphabet:
+            for b in alphabet:
+                checked = self.get_last_checked((a, b))
+                if trace_id in checked:
+                    del checked[trace_id]
+                    self.store.put(LAST_CHECKED, (a, b), checked)

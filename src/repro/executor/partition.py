@@ -1,0 +1,43 @@
+"""Partitioning helpers for the parallel executor."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def partition_items(items: Sequence[T], num_partitions: int) -> list[list[T]]:
+    """Split ``items`` into up to ``num_partitions`` contiguous chunks.
+
+    Chunks differ in size by at most one element; empty chunks are dropped so
+    callers never schedule no-op work.
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    total = len(items)
+    if total == 0:
+        return []
+    num_partitions = min(num_partitions, total)
+    base, extra = divmod(total, num_partitions)
+    partitions: list[list[T]] = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        partitions.append(list(items[start : start + size]))
+        start += size
+    return partitions
+
+
+def partition_round_robin(items: Iterable[T], num_partitions: int) -> list[list[T]]:
+    """Deal ``items`` round-robin; balances skewed per-item costs.
+
+    Useful when items are traces sorted by size: contiguous chunking would
+    put all the long traces in one partition, round-robin spreads them.
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    partitions: list[list[T]] = [[] for _ in range(num_partitions)]
+    for i, item in enumerate(items):
+        partitions[i % num_partitions].append(item)
+    return [p for p in partitions if p]

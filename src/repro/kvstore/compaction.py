@@ -1,0 +1,136 @@
+"""Size-tiered compaction for the LSM store.
+
+Compaction picks a *contiguous* run of SSTables (contiguity in manifest
+order is what keeps merge-delta history well-ordered) whose sizes are within
+a band of each other, and k-way merges them into a single replacement table.
+Tombstones and baseless merge deltas can only be finalised when the run
+includes the oldest table -- otherwise an older file might still hold the
+base value the deltas apply to.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+from repro.kvstore.encoding import decode_value, encode_value
+from repro.kvstore.merge import MergeOperator
+from repro.kvstore.sstable import SSTableReader
+from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT
+
+
+class CompactionPlan:
+    """A contiguous slice ``[start, stop)`` of the manifest's SSTable list."""
+
+    __slots__ = ("start", "stop", "includes_oldest")
+
+    def __init__(self, start: int, stop: int) -> None:
+        self.start = start
+        self.stop = stop
+        self.includes_oldest = start == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompactionPlan([{self.start}:{self.stop}])"
+
+
+def plan_size_tiered(
+    sizes: list[int], min_tables: int = 4, size_ratio: float = 2.0
+) -> CompactionPlan | None:
+    """Choose a compaction run over tables listed oldest -> newest.
+
+    Returns the first (oldest) contiguous window of at least ``min_tables``
+    tables whose sizes all lie within ``size_ratio`` of the window minimum,
+    or ``None`` when nothing qualifies.
+    """
+    count = len(sizes)
+    if count < min_tables:
+        return None
+    start = 0
+    while start <= count - min_tables:
+        window_min = sizes[start]
+        window_max = sizes[start]
+        stop = start
+        while stop < count:
+            candidate_min = min(window_min, sizes[stop])
+            candidate_max = max(window_max, sizes[stop])
+            if candidate_max > max(candidate_min, 1) * size_ratio:
+                break
+            window_min, window_max = candidate_min, candidate_max
+            stop += 1
+        if stop - start >= min_tables:
+            return CompactionPlan(start, stop)
+        start += 1
+    return None
+
+
+def _resolve_key(
+    records_newest_first: list[tuple[int, bytes]],
+    operator: MergeOperator | None,
+    finalize: bool,
+) -> tuple[int, bytes] | None:
+    """Collapse one key's records; ``None`` means the key can be dropped."""
+    pending: list[bytes] = []  # newest first
+    for kind, value in records_newest_first:
+        if kind == KIND_MERGE:
+            pending.append(value)
+            continue
+        if kind == KIND_PUT:
+            if not pending:
+                return KIND_PUT, value
+            deltas = [decode_value(d) for d in reversed(pending)]
+            merged = _require(operator).full_merge(decode_value(value), deltas)
+            return KIND_PUT, encode_value(merged)
+        # KIND_DELETE: history below the tombstone is dead.
+        if pending:
+            deltas = [decode_value(d) for d in reversed(pending)]
+            merged = _require(operator).full_merge(None, deltas)
+            return KIND_PUT, encode_value(merged)
+        return None if finalize else (KIND_DELETE, b"")
+    # Only merge deltas were found in this run.
+    deltas = [decode_value(d) for d in reversed(pending)]
+    if finalize:
+        merged = _require(operator).full_merge(None, deltas)
+        return KIND_PUT, encode_value(merged)
+    partial = _require(operator).partial_merge(deltas)
+    return KIND_MERGE, encode_value(partial)
+
+
+def _require(operator: MergeOperator | None) -> MergeOperator:
+    if operator is None:
+        raise ValueError("merge deltas present but no merge operator registered")
+    return operator
+
+
+def merge_records(
+    readers_oldest_first: list[SSTableReader],
+    operator_for_key: Callable[[bytes], MergeOperator | None],
+    finalize: bool,
+) -> Iterator[tuple[int, bytes, bytes]]:
+    """K-way merge readers, yielding collapsed ``(kind, key, value)`` records.
+
+    ``finalize`` indicates the run includes the oldest table, allowing
+    tombstone dropping and baseless-delta finalisation.
+    """
+    # rank 0 = newest source, so tuples (key, rank) sort ties newest-first.
+    sources = list(reversed(readers_oldest_first))
+    heap: list[tuple[bytes, int, int, bytes, Iterator[tuple[bytes, int, bytes]]]] = []
+    for rank, reader in enumerate(sources):
+        iterator = iter(reader)
+        first = next(iterator, None)
+        if first is not None:
+            key, kind, value = first
+            heapq.heappush(heap, (key, rank, kind, value, iterator))
+    while heap:
+        key = heap[0][0]
+        records: list[tuple[int, bytes]] = []
+        while heap and heap[0][0] == key:
+            _, rank, kind, value, iterator = heapq.heappop(heap)
+            records.append((kind, value))
+            nxt = next(iterator, None)
+            if nxt is not None:
+                nkey, nkind, nvalue = nxt
+                heapq.heappush(heap, (nkey, rank, nkind, nvalue, iterator))
+        resolved = _resolve_key(records, operator_for_key(key), finalize)
+        if resolved is not None:
+            kind, value = resolved
+            yield kind, key, value

@@ -1,0 +1,581 @@
+"""Durable LSM-tree implementation of :class:`~repro.kvstore.api.KeyValueStore`.
+
+Directory layout::
+
+    <path>/MANIFEST            JSON: tables, SSTable list, flush watermark
+    <path>/wal.log             write-ahead log (truncated on flush)
+    <path>/sst-<n>.sst         immutable sorted tables (oldest = lowest n
+                               position in the manifest list)
+
+Write path: WAL append -> memtable; the memtable flushes to a new SSTable
+once it exceeds ``memtable_flush_bytes``, after which the manifest is
+atomically swapped and the WAL truncated.  Read path: memtable, then
+SSTables newest-to-oldest, combining merge deltas with the table's merge
+operator.  Size-tiered compaction keeps the SSTable count bounded.
+
+Keys are namespaced by a 2-byte table id so one physical file set serves all
+logical tables, exactly as a Cassandra keyspace does.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import struct
+import threading
+from typing import Any, Iterator
+
+from repro.kvstore.api import (
+    KeyValueStore,
+    MergeUnsupportedError,
+    StoreClosedError,
+    UnknownTableError,
+    normalize_key,
+)
+from repro.kvstore.compaction import merge_records, plan_size_tiered
+from repro.kvstore.encoding import (
+    Key,
+    KeyPart,
+    decode_key,
+    decode_value,
+    encode_key,
+    encode_value,
+)
+from repro.kvstore.memtable import TOMBSTONE, Memtable
+from repro.kvstore.merge import MergeOperator, resolve_merge_operator
+from repro.kvstore.sstable import SSTableReader, SSTableWriter
+from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT, WriteAheadLog
+
+_TABLE_PREFIX = struct.Struct(">H")
+MANIFEST_NAME = "MANIFEST"
+WAL_NAME = "wal.log"
+
+
+class StoreMetrics:
+    """Operation counters exposed for tests, benchmarks and tuning.
+
+    Counting is monotonic over the store's lifetime (not persisted);
+    ``bloom_skips`` counts SSTables that a point read skipped thanks to a
+    negative bloom-filter probe.
+    """
+
+    __slots__ = (
+        "puts",
+        "merges",
+        "deletes",
+        "gets",
+        "scans",
+        "flushes",
+        "compactions",
+        "bloom_skips",
+        "sstable_reads",
+    )
+
+    def __init__(self) -> None:
+        self.puts = 0
+        self.merges = 0
+        self.deletes = 0
+        self.gets = 0
+        self.scans = 0
+        self.flushes = 0
+        self.compactions = 0
+        self.bloom_skips = 0
+        self.sstable_reads = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Current counter values as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class LSMStore(KeyValueStore):
+    """File-backed LSM store; see the module docstring for the design."""
+
+    def __init__(
+        self,
+        path: str,
+        memtable_flush_bytes: int = 4 * 1024 * 1024,
+        sync_wal: bool = False,
+        compaction_min_tables: int = 4,
+        auto_compact: bool = True,
+    ) -> None:
+        self._path = path
+        self._memtable_flush_bytes = memtable_flush_bytes
+        self._compaction_min_tables = compaction_min_tables
+        self._auto_compact = auto_compact
+        self._lock = threading.RLock()
+        self._closed = False
+        os.makedirs(path, exist_ok=True)
+
+        self.metrics = StoreMetrics()
+        self._tables: dict[str, int] = {}
+        self._merge_ops: dict[int, MergeOperator | None] = {}
+        self._merge_op_names: dict[str, str | None] = {}
+        self._sstables: list[SSTableReader] = []  # oldest -> newest
+        self._next_table_id = 1
+        self._next_sst_id = 1
+        self._last_flushed_seq = 0
+        self._next_seq = 1
+
+        self._load_manifest()
+        self._memtable = Memtable()
+        self._replay_wal()
+        self._wal = WriteAheadLog(os.path.join(path, WAL_NAME), sync=sync_wal)
+
+    # -- manifest and recovery -------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self._path, MANIFEST_NAME)
+
+    def _load_manifest(self) -> None:
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            self._write_manifest()
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        self._next_table_id = manifest["next_table_id"]
+        self._next_sst_id = manifest["next_sst_id"]
+        self._last_flushed_seq = manifest["last_flushed_seq"]
+        for name, spec in manifest["tables"].items():
+            table_id = spec["id"]
+            op_name = spec["merge"]
+            self._tables[name] = table_id
+            self._merge_op_names[name] = op_name
+            self._merge_ops[table_id] = (
+                resolve_merge_operator(op_name) if op_name else None
+            )
+        for filename in manifest["sstables"]:
+            self._sstables.append(SSTableReader(os.path.join(self._path, filename)))
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": 1,
+            "next_table_id": self._next_table_id,
+            "next_sst_id": self._next_sst_id,
+            "last_flushed_seq": self._last_flushed_seq,
+            "tables": {
+                name: {"id": table_id, "merge": self._merge_op_names.get(name)}
+                for name, table_id in self._tables.items()
+            },
+            "sstables": [os.path.basename(r.path) for r in self._sstables],
+        }
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._manifest_path())
+
+    def _replay_wal(self) -> None:
+        wal_path = os.path.join(self._path, WAL_NAME)
+        max_seq = self._last_flushed_seq
+        for record in WriteAheadLog.replay(wal_path):
+            if record.seqno > self._last_flushed_seq:
+                self._memtable.apply(record.kind, record.key, record.value)
+            max_seq = max(max_seq, record.seqno)
+        self._next_seq = max_seq + 1
+
+    # -- table management -------------------------------------------------------
+
+    def create_table(self, name: str, merge_operator: str | None = None) -> None:
+        self._check_open()
+        with self._lock:
+            if name in self._tables:
+                if self._merge_op_names.get(name) != merge_operator:
+                    raise ValueError(
+                        f"table {name!r} already exists with merge operator "
+                        f"{self._merge_op_names.get(name)!r}, not {merge_operator!r}"
+                    )
+                return
+            table_id = self._next_table_id
+            self._next_table_id += 1
+            self._tables[name] = table_id
+            self._merge_op_names[name] = merge_operator
+            self._merge_ops[table_id] = (
+                resolve_merge_operator(merge_operator) if merge_operator else None
+            )
+            self._write_manifest()
+
+    def has_table(self, name: str) -> bool:
+        self._check_open()
+        return name in self._tables
+
+    def _table_id(self, name: str) -> int:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"table {name!r} does not exist") from None
+
+    def _full_key(self, table: str, key: KeyPart | Key) -> bytes:
+        return _TABLE_PREFIX.pack(self._table_id(table)) + encode_key(normalize_key(key))
+
+    def _operator_for_full_key(self, full_key: bytes) -> MergeOperator | None:
+        (table_id,) = _TABLE_PREFIX.unpack_from(full_key, 0)
+        return self._merge_ops.get(table_id)
+
+    # -- write path ---------------------------------------------------------------
+
+    def _log_and_apply(self, kind: int, full_key: bytes, value: bytes) -> None:
+        with self._lock:
+            self._check_open()
+            seqno = self._next_seq
+            self._next_seq += 1
+            self._wal.append(seqno, kind, full_key, value)
+            self._memtable.apply(kind, full_key, value)
+            if self._memtable.approximate_bytes >= self._memtable_flush_bytes:
+                self._flush_locked()
+
+    def put(self, table: str, key: KeyPart | Key, value: Any) -> None:
+        self.metrics.puts += 1
+        self._log_and_apply(KIND_PUT, self._full_key(table, key), encode_value(value))
+
+    def merge(self, table: str, key: KeyPart | Key, delta: Any) -> None:
+        full_key = self._full_key(table, key)
+        if self._operator_for_full_key(full_key) is None:
+            raise MergeUnsupportedError(f"table {table!r} has no merge operator")
+        self.metrics.merges += 1
+        self._log_and_apply(KIND_MERGE, full_key, encode_value(delta))
+
+    def delete(self, table: str, key: KeyPart | Key) -> None:
+        self.metrics.deletes += 1
+        self._log_and_apply(KIND_DELETE, self._full_key(table, key), b"")
+
+    # -- read path -----------------------------------------------------------------
+
+    def get(self, table: str, key: KeyPart | Key, default: Any = None) -> Any:
+        with self._lock:
+            self._check_open()
+            self.metrics.gets += 1
+            full_key = self._full_key(table, key)
+            operator = self._operator_for_full_key(full_key)
+            resolved, value = self._memtable.resolve(full_key, operator)
+            if resolved:
+                return default if value is TOMBSTONE else value
+            pending: list[Any] = []
+            entry = self._memtable.lookup(full_key)
+            if entry is not None:
+                pending.extend(decode_value(d) for d in reversed(entry.deltas))
+            # pending is newest-first from here on.
+            for reader in reversed(self._sstables):
+                if not reader.may_contain(full_key):
+                    self.metrics.bloom_skips += 1
+                    continue
+                self.metrics.sstable_reads += 1
+                record = reader.get(full_key)
+                if record is None:
+                    continue
+                kind, raw = record
+                if kind == KIND_MERGE:
+                    pending.append(decode_value(raw))
+                    continue
+                base = decode_value(raw) if kind == KIND_PUT else None
+                if not pending:
+                    return base if kind == KIND_PUT else default
+                return _require_op(operator).full_merge(base, list(reversed(pending)))
+            if not pending:
+                return default
+            return _require_op(operator).full_merge(None, list(reversed(pending)))
+
+    def scan(
+        self, table: str, prefix: KeyPart | Key | None = None
+    ) -> Iterator[tuple[Key, Any]]:
+        # Materialize under the lock: scans are used for bounded key ranges
+        # (per-table or per-prefix), and a snapshot keeps iteration safe
+        # against concurrent flushes/compactions.
+        with self._lock:
+            self._check_open()
+            self.metrics.scans += 1
+            table_id = self._table_id(table)
+            low = _TABLE_PREFIX.pack(table_id)
+            if prefix is not None:
+                low += encode_key(normalize_key(prefix))
+            high = _prefix_successor(low)
+            operator = self._merge_ops.get(table_id)
+            results = list(self._scan_locked(low, high, operator))
+        return iter(results)
+
+    def scan_range(
+        self,
+        table: str,
+        start: KeyPart | Key | None = None,
+        stop: KeyPart | Key | None = None,
+    ) -> Iterator[tuple[Key, Any]]:
+        with self._lock:
+            self._check_open()
+            self.metrics.scans += 1
+            table_id = self._table_id(table)
+            table_prefix = _TABLE_PREFIX.pack(table_id)
+            low = table_prefix
+            if start is not None:
+                low += encode_key(normalize_key(start))
+            if stop is not None:
+                high: bytes | None = table_prefix + encode_key(normalize_key(stop))
+            else:
+                high = _prefix_successor(table_prefix)
+            operator = self._merge_ops.get(table_id)
+            results = list(self._scan_locked(low, high, operator))
+        return iter(results)
+
+    def _scan_locked(
+        self, low: bytes, high: bytes | None, operator: MergeOperator | None
+    ) -> Iterator[tuple[Key, Any]]:
+        sources: list[Iterator[tuple[bytes, int, bytes]]] = []
+        mem_records = [
+            (key, entry)
+            for key, entry in self._memtable.iter_sorted()
+            if key >= low
+        ]
+        sources.append(_memtable_source(mem_records))
+        for reader in reversed(self._sstables):
+            sources.append(reader.iter_from_key(low))
+        heap: list[tuple[bytes, int, int, bytes, Iterator[tuple[bytes, int, bytes]]]] = []
+        for rank, source in enumerate(sources):
+            first = next(source, None)
+            if first is not None:
+                key, kind, value = first
+                heapq.heappush(heap, (key, rank, kind, value, source))
+        while heap:
+            key = heap[0][0]
+            if high is not None and key >= high:
+                break
+            records: list[tuple[int, bytes]] = []
+            while heap and heap[0][0] == key:
+                _, rank, kind, value, source = heapq.heappop(heap)
+                records.append((kind, value))
+                nxt = next(source, None)
+                if nxt is not None:
+                    nkey, nkind, nvalue = nxt
+                    heapq.heappush(heap, (nkey, rank, nkind, nvalue, source))
+            value_obj = _resolve_read(records, operator)
+            if value_obj is not TOMBSTONE:
+                yield decode_key(key[_TABLE_PREFIX.size :]), value_obj
+
+    # -- flush & compaction -----------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            self._check_open()
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if len(self._memtable) == 0:
+            return
+        filename = f"sst-{self._next_sst_id:06d}.sst"
+        self._next_sst_id += 1
+        writer = SSTableWriter(
+            os.path.join(self._path, filename), expected_records=len(self._memtable)
+        )
+        try:
+            for key, entry in self._memtable.iter_sorted():
+                record = _flush_entry(entry, self._operator_for_full_key(key))
+                if record is not None:
+                    kind, value = record
+                    writer.add(key, kind, value)
+        except BaseException:
+            writer.abort()
+            raise
+        reader = writer.finish()
+        self.metrics.flushes += 1
+        self._sstables.append(reader)
+        self._last_flushed_seq = self._next_seq - 1
+        self._write_manifest()
+        self._wal.truncate()
+        self._memtable.clear()
+        if self._auto_compact:
+            self._maybe_compact_locked()
+
+    def compact(self) -> bool:
+        """Run one compaction round if a qualifying run exists."""
+        with self._lock:
+            self._check_open()
+            return self._maybe_compact_locked()
+
+    def compact_all(self) -> None:
+        """Force-merge every SSTable into one (full major compaction)."""
+        with self._lock:
+            self._check_open()
+            self._flush_locked()
+            if len(self._sstables) > 1:
+                self._compact_range_locked(0, len(self._sstables))
+
+    def _maybe_compact_locked(self) -> bool:
+        sizes = [reader.data_bytes for reader in self._sstables]
+        plan = plan_size_tiered(sizes, min_tables=self._compaction_min_tables)
+        if plan is None:
+            return False
+        self._compact_range_locked(plan.start, plan.stop)
+        return True
+
+    def _compact_range_locked(self, start: int, stop: int) -> None:
+        run = self._sstables[start:stop]
+        finalize = start == 0
+        filename = f"sst-{self._next_sst_id:06d}.sst"
+        self._next_sst_id += 1
+        expected = sum(r.record_count for r in run)
+        writer = SSTableWriter(os.path.join(self._path, filename), expected_records=expected)
+        try:
+            for kind, key, value in merge_records(
+                run, self._operator_for_full_key, finalize
+            ):
+                writer.add(key, kind, value)
+        except BaseException:
+            writer.abort()
+            raise
+        merged = writer.finish()
+        self.metrics.compactions += 1
+        self._sstables[start:stop] = [merged]
+        self._write_manifest()
+        for reader in run:
+            reader.close()
+            os.remove(reader.path)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            self._wal.close()
+            for reader in self._sstables:
+                reader.close()
+            self._closed = True
+
+    @property
+    def sstable_count(self) -> int:
+        """Number of live SSTables (exposed for tests and introspection)."""
+        with self._lock:
+            return len(self._sstables)
+
+    def verify(self) -> None:
+        """Scrub every SSTable's data section against its checksum.
+
+        Raises :class:`~repro.kvstore.api.CorruptionError` on the first
+        mismatch.  Metadata (index/bloom/footer) is already verified on
+        open; this pass covers the record payloads.
+        """
+        with self._lock:
+            self._check_open()
+            for reader in self._sstables:
+                reader.verify()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+
+
+def _prefix_successor(prefix: bytes) -> bytes | None:
+    """Smallest byte string greater than every string starting with ``prefix``.
+
+    Increment the last non-0xFF byte and truncate; all-0xFF prefixes have
+    no successor (``None`` = scan to the end).
+    """
+    out = bytearray(prefix)
+    while out:
+        if out[-1] != 0xFF:
+            out[-1] += 1
+            return bytes(out)
+        out.pop()
+    return None
+
+
+def _memtable_source(
+    records: list[tuple[bytes, Any]]
+) -> Iterator[tuple[bytes, int, bytes]]:
+    """Adapt memtable entries into (key, kind, value) records for merging.
+
+    A memtable entry may carry both a base and deltas; encode it as the
+    single record an SSTable flush would have produced, except that merges
+    stay merges (resolution happens in ``_resolve_read``).
+    """
+    from repro.kvstore.memtable import BASE_ABSENT, BASE_DELETE, BASE_PUT
+
+    for key, entry in records:
+        if entry.base_kind == BASE_ABSENT:
+            yield key, _MEM_MERGE_BUNDLE, encode_value([d for d in entry.deltas])
+        elif entry.base_kind == BASE_PUT:
+            yield key, _MEM_PUT_BUNDLE, encode_value(
+                [entry.base_value, [d for d in entry.deltas]]
+            )
+        elif entry.base_kind == BASE_DELETE:
+            yield key, _MEM_DELETE_BUNDLE, encode_value([d for d in entry.deltas])
+
+
+# Synthetic record kinds used only between _memtable_source and _resolve_read.
+_MEM_MERGE_BUNDLE = 100
+_MEM_PUT_BUNDLE = 101
+_MEM_DELETE_BUNDLE = 102
+
+
+def _resolve_read(
+    records_newest_first: list[tuple[int, bytes]], operator: MergeOperator | None
+) -> Any:
+    """Collapse one key's records (newest first) into a value or TOMBSTONE."""
+    pending: list[Any] = []  # newest first
+    for kind, raw in records_newest_first:
+        if kind == KIND_MERGE:
+            pending.append(decode_value(raw))
+            continue
+        if kind == _MEM_MERGE_BUNDLE:
+            deltas = [decode_value(d) for d in decode_value(raw)]
+            pending.extend(reversed(deltas))
+            continue
+        if kind == _MEM_PUT_BUNDLE:
+            base_raw, delta_raws = decode_value(raw)
+            base = decode_value(base_raw)
+            deltas = [decode_value(d) for d in delta_raws]
+            pending.extend(reversed(deltas))
+            if not pending:
+                return base
+            return _require_op(operator).full_merge(base, list(reversed(pending)))
+        if kind == _MEM_DELETE_BUNDLE:
+            deltas = [decode_value(d) for d in decode_value(raw)]
+            pending.extend(reversed(deltas))
+            if not pending:
+                return TOMBSTONE
+            return _require_op(operator).full_merge(None, list(reversed(pending)))
+        if kind == KIND_PUT:
+            base = decode_value(raw)
+            if not pending:
+                return base
+            return _require_op(operator).full_merge(base, list(reversed(pending)))
+        if kind == KIND_DELETE:
+            if not pending:
+                return TOMBSTONE
+            return _require_op(operator).full_merge(None, list(reversed(pending)))
+        raise ValueError(f"unknown record kind {kind}")
+    if not pending:
+        return TOMBSTONE
+    return _require_op(operator).full_merge(None, list(reversed(pending)))
+
+
+def _flush_entry(entry: Any, operator: MergeOperator | None) -> tuple[int, bytes] | None:
+    """Turn a memtable entry into the single SSTable record representing it."""
+    from repro.kvstore.memtable import BASE_ABSENT, BASE_DELETE, BASE_PUT
+
+    if entry.base_kind == BASE_PUT:
+        base = decode_value(entry.base_value)
+        if entry.deltas:
+            deltas = [decode_value(d) for d in entry.deltas]
+            base = _require_op(operator).full_merge(base, deltas)
+        return KIND_PUT, encode_value(base)
+    if entry.base_kind == BASE_DELETE:
+        if entry.deltas:
+            deltas = [decode_value(d) for d in entry.deltas]
+            merged = _require_op(operator).full_merge(None, deltas)
+            return KIND_PUT, encode_value(merged)
+        return KIND_DELETE, b""
+    if entry.base_kind == BASE_ABSENT:
+        if not entry.deltas:
+            return None
+        deltas = [decode_value(d) for d in entry.deltas]
+        partial = _require_op(operator).partial_merge(deltas)
+        return KIND_MERGE, encode_value(partial)
+    raise ValueError(f"unknown base kind {entry.base_kind}")
+
+
+def _require_op(operator: MergeOperator | None) -> MergeOperator:
+    if operator is None:
+        raise ValueError("merge deltas present but table has no merge operator")
+    return operator

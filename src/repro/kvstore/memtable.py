@@ -1,0 +1,137 @@
+"""In-memory write buffer of the LSM store.
+
+Each key holds a *base state* plus a queue of pending merge deltas:
+
+* base ``PUT`` / ``DELETE``: the newest full write seen in this memtable --
+  any older on-disk history is irrelevant for this key;
+* base ``ABSENT``: only merge deltas have arrived, so a read (or flush) must
+  still consult older SSTables for the base value.
+
+Values are kept *encoded* (the same bytes written to the WAL) so the
+memtable's accounting of its own size is exact and flushing is a straight
+copy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.kvstore.encoding import decode_value
+from repro.kvstore.merge import MergeOperator
+from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT
+
+BASE_ABSENT = 0
+BASE_PUT = 1
+BASE_DELETE = 2
+
+
+class MemEntry:
+    """Per-key state: a base write plus pending merge deltas (oldest first)."""
+
+    __slots__ = ("base_kind", "base_value", "deltas")
+
+    def __init__(self) -> None:
+        self.base_kind = BASE_ABSENT
+        self.base_value: bytes | None = None
+        self.deltas: list[bytes] = []
+
+    def apply(self, kind: int, value: bytes) -> int:
+        """Fold one WAL-kind operation in; return the net byte delta."""
+        if kind == KIND_MERGE:
+            self.deltas.append(value)
+            return len(value)
+        freed = (len(self.base_value) if self.base_value is not None else 0) + sum(
+            len(d) for d in self.deltas
+        )
+        self.deltas.clear()
+        if kind == KIND_PUT:
+            self.base_kind = BASE_PUT
+            self.base_value = value
+            return len(value) - freed
+        if kind == KIND_DELETE:
+            self.base_kind = BASE_DELETE
+            self.base_value = None
+            return -freed
+        raise ValueError(f"unknown op kind {kind}")
+
+    def is_self_contained(self) -> bool:
+        """True when a read never needs older SSTables for this key."""
+        return self.base_kind != BASE_ABSENT
+
+
+class Memtable:
+    """Unsorted hash of :class:`MemEntry`; sorted only when flushed."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, MemEntry] = {}
+        self._approx_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Rough payload footprint used to trigger flushes."""
+        return self._approx_bytes
+
+    def apply(self, kind: int, key: bytes, value: bytes) -> None:
+        """Apply one operation (same kinds as the WAL)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = MemEntry()
+            self._entries[key] = entry
+            self._approx_bytes += len(key)
+        self._approx_bytes += entry.apply(kind, value)
+
+    def lookup(self, key: bytes) -> MemEntry | None:
+        """Return the entry for ``key`` (or ``None`` if never touched here)."""
+        return self._entries.get(key)
+
+    def resolve(
+        self, key: bytes, operator: MergeOperator | None
+    ) -> tuple[bool, Any]:
+        """Resolve a key fully *within* the memtable.
+
+        Returns ``(resolved, value)``; ``resolved`` is False when older
+        SSTables must still be consulted.  A resolved deleted key yields
+        ``(True, None)`` via ``value is TOMBSTONE`` -- callers use
+        :data:`TOMBSTONE` to distinguish deletion from a stored ``None``.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False, None
+        if not entry.is_self_contained():
+            return False, None
+        if entry.base_kind == BASE_DELETE and not entry.deltas:
+            return True, TOMBSTONE
+        base = (
+            decode_value(entry.base_value)
+            if entry.base_kind == BASE_PUT and entry.base_value is not None
+            else None
+        )
+        if not entry.deltas:
+            return True, base
+        if operator is None:
+            raise ValueError("merge deltas present but table has no merge operator")
+        deltas = [decode_value(d) for d in entry.deltas]
+        return True, operator.full_merge(base, deltas)
+
+    def iter_sorted(self) -> Iterator[tuple[bytes, MemEntry]]:
+        """Yield entries in key order (used by flush and scans)."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._approx_bytes = 0
+
+
+class _Tombstone:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TOMBSTONE>"
+
+
+#: sentinel returned by resolution paths for "definitely deleted"
+TOMBSTONE = _Tombstone()

@@ -1,0 +1,167 @@
+"""Merge operators: Cassandra-style blind writes for mutable values.
+
+The paper's index tables are all "append a few entries to a possibly huge
+collection" workloads.  Reading the old collection, extending it in Python
+and writing it back would make every index batch O(index size).  Merge
+operators (the RocksDB design) solve this: a *merge delta* is written blindly
+and the store combines base value and deltas lazily -- at read time and
+during compaction.
+
+Operators must be associative over deltas so that partial merges performed by
+compaction commute with the final full merge.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class MergeOperator:
+    """Combines a base value with an ordered list of merge deltas."""
+
+    #: registry name used in the store manifest
+    name = "abstract"
+
+    def full_merge(self, base: Any, deltas: list[Any]) -> Any:
+        """Combine ``base`` (or ``None``) with ``deltas``, oldest first."""
+        raise NotImplementedError
+
+    def partial_merge(self, deltas: list[Any]) -> Any:
+        """Collapse consecutive deltas (oldest first) into a single delta."""
+        raise NotImplementedError
+
+    def merge_in_place(self, base: Any, delta: Any) -> bool:
+        """Mutate ``base`` by one delta; return False if unsupported.
+
+        In-memory backends use this to avoid rebuilding large collection
+        values on every blind write (the LSM backend never needs it -- its
+        deltas stay encoded until read or compaction).
+        """
+        return False
+
+
+class ListAppendMerge(MergeOperator):
+    """Value is a list; each delta is a list of elements to append.
+
+    This models Cassandra's ``list`` collection append used for the paper's
+    ``Index`` and ``Seq`` tables.
+    """
+
+    name = "list_append"
+
+    def full_merge(self, base: Any, deltas: list[Any]) -> Any:
+        result = list(base) if base is not None else []
+        for delta in deltas:
+            result.extend(delta)
+        return result
+
+    def partial_merge(self, deltas: list[Any]) -> Any:
+        merged: list[Any] = []
+        for delta in deltas:
+            merged.extend(delta)
+        return merged
+
+    def merge_in_place(self, base: Any, delta: Any) -> bool:
+        base.extend(delta)
+        return True
+
+
+class CounterMapMerge(MergeOperator):
+    """Value is ``{key: [sum, count, ...numeric]}``; deltas add element-wise.
+
+    Used for the paper's ``Count`` and ``Reverse Count`` tables, whose values
+    accumulate total durations and completion counts per follower event.
+    """
+
+    name = "counter_map"
+
+    def full_merge(self, base: Any, deltas: list[Any]) -> Any:
+        result: dict[Any, list[float]] = (
+            {key: list(vals) for key, vals in base.items()} if base is not None else {}
+        )
+        for delta in deltas:
+            self._accumulate(result, delta)
+        return result
+
+    def partial_merge(self, deltas: list[Any]) -> Any:
+        merged: dict[Any, list[float]] = {}
+        for delta in deltas:
+            self._accumulate(merged, delta)
+        return merged
+
+    def merge_in_place(self, base: Any, delta: Any) -> bool:
+        self._accumulate(base, delta)
+        return True
+
+    @staticmethod
+    def _accumulate(target: dict[Any, list[float]], delta: dict[Any, Any]) -> None:
+        for key, vals in delta.items():
+            slot = target.get(key)
+            if slot is None:
+                target[key] = list(vals)
+            else:
+                for i, val in enumerate(vals):
+                    slot[i] += val
+
+
+class MaxMapMerge(MergeOperator):
+    """Value is ``{key: comparable}``; deltas keep the per-key maximum.
+
+    Used for the ``LastChecked`` table: per trace, the latest completion
+    timestamp of a pair wins.
+    """
+
+    name = "max_map"
+
+    def full_merge(self, base: Any, deltas: list[Any]) -> Any:
+        result: dict[Any, Any] = dict(base) if base is not None else {}
+        for delta in deltas:
+            for key, val in delta.items():
+                if key not in result or val > result[key]:
+                    result[key] = val
+        return result
+
+    def partial_merge(self, deltas: list[Any]) -> Any:
+        merged: dict[Any, Any] = {}
+        for delta in deltas:
+            for key, val in delta.items():
+                if key not in merged or val > merged[key]:
+                    merged[key] = val
+        return merged
+
+    def merge_in_place(self, base: Any, delta: Any) -> bool:
+        for key, val in delta.items():
+            if key not in base or val > base[key]:
+                base[key] = val
+        return True
+
+
+class LastWriteWins(MergeOperator):
+    """Each delta replaces the value entirely (a put expressed as a merge)."""
+
+    name = "last_write_wins"
+
+    def full_merge(self, base: Any, deltas: list[Any]) -> Any:
+        return deltas[-1] if deltas else base
+
+    def partial_merge(self, deltas: list[Any]) -> Any:
+        return deltas[-1]
+
+
+_REGISTRY: dict[str, MergeOperator] = {
+    op.name: op
+    for op in (ListAppendMerge(), CounterMapMerge(), MaxMapMerge(), LastWriteWins())
+}
+
+
+def resolve_merge_operator(name: str) -> MergeOperator:
+    """Look up a merge operator by its manifest name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown merge operator: {name!r}") from None
+
+
+def register_merge_operator(operator: MergeOperator) -> None:
+    """Register a custom operator so persisted manifests can resolve it."""
+    _REGISTRY[operator.name] = operator

@@ -1,0 +1,250 @@
+"""Immutable sorted-string-table files.
+
+Layout (all integers big-endian)::
+
+    "RSST1\\n"                                   magic
+    data section:    repeated records
+                     [u32 klen][key][u8 kind][u32 vlen][value]
+    index section:   sparse index, one entry per INDEX_INTERVAL records
+                     [u32 klen][key][u64 data offset]
+    bloom section:   serialized BloomFilter
+    footer:          [u64 index_off][u64 bloom_off][u64 record_count]
+                     [u32 crc32(data)] [u32 meta_crc] "RSSTEND\\n"
+
+    ``meta_crc`` covers the index section, the bloom section *and* the other
+    footer fields, so any bit flip in the file outside the data section is
+    caught at open; the data CRC is checked by the explicit
+    :meth:`SSTableReader.verify` integrity pass (reads never pay for it)
+
+Each SSTable holds at most one record per key (the memtable collapses
+duplicate writes), so readers never need per-file sequence numbers; file
+recency is tracked by the manifest ordering instead.
+
+Record kinds reuse the WAL constants: ``PUT`` (full value), ``DELETE``
+(tombstone) and ``MERGE`` (a combined merge delta whose base lives in some
+older file).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from bisect import bisect_right
+from typing import Iterable, Iterator
+
+from repro.kvstore.api import CorruptionError
+from repro.kvstore.bloom import BloomFilter
+
+MAGIC = b"RSST1\n"
+END_MAGIC = b"RSSTEND\n"
+INDEX_INTERVAL = 16
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_FOOTER = struct.Struct(">QQQII")
+
+
+class SSTableWriter:
+    """Streams sorted records into a new SSTable file."""
+
+    def __init__(self, path: str, expected_records: int = 1024) -> None:
+        self._path = path
+        self._tmp_path = path + ".tmp"
+        self._file = open(self._tmp_path, "wb")
+        self._file.write(MAGIC)
+        self._bloom = BloomFilter.with_capacity(expected_records)
+        self._index: list[tuple[bytes, int]] = []
+        self._count = 0
+        self._data_crc = 0
+        self._last_key: bytes | None = None
+
+    def add(self, key: bytes, kind: int, value: bytes) -> None:
+        """Append one record; keys must arrive in strictly increasing order."""
+        if self._last_key is not None and key <= self._last_key:
+            raise ValueError("SSTable records must be added in strictly increasing key order")
+        self._last_key = key
+        if self._count % INDEX_INTERVAL == 0:
+            self._index.append((key, self._file.tell()))
+        self._bloom.add(key)
+        record = (
+            _U32.pack(len(key)) + key + bytes((kind,)) + _U32.pack(len(value)) + value
+        )
+        self._data_crc = zlib.crc32(record, self._data_crc)
+        self._file.write(record)
+        self._count += 1
+
+    def finish(self) -> "SSTableReader":
+        """Seal the file (atomically renamed into place) and open a reader."""
+        index_off = self._file.tell()
+        index_buf = bytearray()
+        for key, offset in self._index:
+            index_buf.extend(_U32.pack(len(key)))
+            index_buf.extend(key)
+            index_buf.extend(_U64.pack(offset))
+        bloom_buf = self._bloom.to_bytes()
+        bloom_off = index_off + len(index_buf)
+        self._file.write(index_buf)
+        self._file.write(bloom_buf)
+        fields = struct.pack(">QQQI", index_off, bloom_off, self._count, self._data_crc)
+        meta_crc = zlib.crc32(bytes(index_buf) + bloom_buf + fields)
+        self._file.write(fields)
+        self._file.write(struct.pack(">I", meta_crc))
+        self._file.write(END_MAGIC)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        os.replace(self._tmp_path, self._path)
+        return SSTableReader(self._path)
+
+    def abort(self) -> None:
+        """Discard a partially written table."""
+        self._file.close()
+        if os.path.exists(self._tmp_path):
+            os.remove(self._tmp_path)
+
+
+class SSTableReader:
+    """Random and sequential access over a sealed SSTable."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._file = open(path, "rb")
+        self._load_footer()
+
+    def _load_footer(self) -> None:
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        tail = _FOOTER.size + len(END_MAGIC)
+        if size < len(MAGIC) + tail:
+            raise CorruptionError(f"SSTable {self._path} too small")
+        self._file.seek(size - tail)
+        footer = self._file.read(_FOOTER.size)
+        magic = self._file.read(len(END_MAGIC))
+        if magic != END_MAGIC:
+            raise CorruptionError(f"SSTable {self._path} missing end magic")
+        index_off, bloom_off, count, data_crc, meta_crc = _FOOTER.unpack(footer)
+        if not len(MAGIC) <= index_off <= bloom_off <= size - tail:
+            raise CorruptionError(f"SSTable {self._path} has implausible offsets")
+        self._file.seek(0)
+        if self._file.read(len(MAGIC)) != MAGIC:
+            raise CorruptionError(f"SSTable {self._path} missing header magic")
+        self._file.seek(index_off)
+        meta = self._file.read(size - tail - index_off)
+        fields = footer[: struct.calcsize(">QQQI")]
+        if zlib.crc32(meta + fields) != meta_crc:
+            raise CorruptionError(f"SSTable {self._path} metadata CRC mismatch")
+        self._data_crc = data_crc
+        index_buf = meta[: bloom_off - index_off]
+        bloom_buf = meta[bloom_off - index_off :]
+        self._bloom = BloomFilter.from_bytes(bloom_buf)
+        self._index_keys: list[bytes] = []
+        self._index_offsets: list[int] = []
+        pos = 0
+        while pos < len(index_buf):
+            (klen,) = _U32.unpack_from(index_buf, pos)
+            pos += 4
+            self._index_keys.append(index_buf[pos : pos + klen])
+            pos += klen
+            (offset,) = _U64.unpack_from(index_buf, pos)
+            pos += 8
+            self._index_offsets.append(offset)
+        self._count = count
+        self._data_end = index_off
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def verify(self) -> None:
+        """Full integrity check of the data section against its CRC.
+
+        Point reads and scans stay checksum-free (the index/bloom path is
+        covered at open); call this for explicit scrubbing, e.g. after
+        restoring a backup.  Raises :class:`CorruptionError` on mismatch.
+        """
+        self._file.seek(len(MAGIC))
+        remaining = self._data_end - len(MAGIC)
+        crc = 0
+        while remaining > 0:
+            chunk = self._file.read(min(1 << 20, remaining))
+            if not chunk:
+                raise CorruptionError(f"SSTable {self._path} data truncated")
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+        if crc != self._data_crc:
+            raise CorruptionError(f"SSTable {self._path} data CRC mismatch")
+
+    @property
+    def record_count(self) -> int:
+        return self._count
+
+    @property
+    def data_bytes(self) -> int:
+        """Size of the data section (used by size-tiered compaction)."""
+        return self._data_end - len(MAGIC)
+
+    def may_contain(self, key: bytes) -> bool:
+        """Bloom-filter pre-check (false positives possible, negatives exact)."""
+        return key in self._bloom
+
+    def get(self, key: bytes) -> tuple[int, bytes] | None:
+        """Return ``(kind, value)`` for ``key`` or ``None``."""
+        if not self._index_keys or key not in self._bloom:
+            return None
+        slot = bisect_right(self._index_keys, key) - 1
+        if slot < 0:
+            return None
+        for rec_key, kind, value in self._iter_from(self._index_offsets[slot], limit=INDEX_INTERVAL):
+            if rec_key == key:
+                return kind, value
+            if rec_key > key:
+                return None
+        return None
+
+    def _iter_from(self, offset: int, limit: int | None = None) -> Iterator[tuple[bytes, int, bytes]]:
+        self._file.seek(offset)
+        emitted = 0
+        while self._file.tell() < self._data_end:
+            if limit is not None and emitted >= limit:
+                return
+            head = self._file.read(4)
+            if len(head) < 4:
+                raise CorruptionError(f"SSTable {self._path} truncated record header")
+            (klen,) = _U32.unpack(head)
+            key = self._file.read(klen)
+            kind = self._file.read(1)[0]
+            (vlen,) = _U32.unpack(self._file.read(4))
+            value = self._file.read(vlen)
+            yield key, kind, value
+            emitted += 1
+
+    def __iter__(self) -> Iterator[tuple[bytes, int, bytes]]:
+        """Yield all ``(key, kind, value)`` records in key order."""
+        return self._iter_from(len(MAGIC))
+
+    def iter_from_key(self, start: bytes) -> Iterator[tuple[bytes, int, bytes]]:
+        """Yield records with ``key >= start`` in key order."""
+        if not self._index_keys:
+            return
+        slot = max(0, bisect_right(self._index_keys, start) - 1)
+        for key, kind, value in self._iter_from(self._index_offsets[slot]):
+            if key >= start:
+                yield key, kind, value
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def write_sstable(
+    path: str, records: Iterable[tuple[bytes, int, bytes]], expected_records: int = 1024
+) -> SSTableReader:
+    """Write ``records`` (sorted by key) to ``path`` and return a reader."""
+    writer = SSTableWriter(path, expected_records)
+    try:
+        for key, kind, value in records:
+            writer.add(key, kind, value)
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.finish()

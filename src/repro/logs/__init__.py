@@ -1,0 +1,39 @@
+"""Log substrate: parsing, writing, generating and profiling event logs.
+
+The paper evaluates on XES logs from the BPI Challenges plus synthetic logs
+from the PLG2 process generator and fully random logs.  None of those inputs
+are redistributable here, so this package provides:
+
+* :mod:`repro.logs.xes` / :mod:`repro.logs.csv_log` -- XES and CSV log IO;
+* :mod:`repro.logs.generator` -- uniform random logs (the paper's "random
+  datasets" for the Figure 3 scalability sweeps);
+* :mod:`repro.logs.process_generator` -- block-structured process models
+  (sequence / XOR / AND / loop) played out into traces, PLG2-style;
+* :mod:`repro.logs.bpi` -- Markov-chain logs calibrated to the published
+  BPI 2013 / 2017 / 2020 dataset statistics;
+* :mod:`repro.logs.stats` -- per-dataset profiles (Table 4 / Figure 2);
+* :mod:`repro.logs.datasets` -- the named dataset registry used by every
+  benchmark.
+"""
+
+from repro.logs.csv_log import read_csv_log, write_csv_log
+from repro.logs.datasets import DATASETS, load_dataset
+from repro.logs.generator import RandomLogConfig, generate_random_log
+from repro.logs.process_generator import ProcessModel, generate_process_log
+from repro.logs.stats import DatasetProfile, profile_log
+from repro.logs.xes import read_xes, write_xes
+
+__all__ = [
+    "read_xes",
+    "write_xes",
+    "read_csv_log",
+    "write_csv_log",
+    "RandomLogConfig",
+    "generate_random_log",
+    "ProcessModel",
+    "generate_process_log",
+    "DatasetProfile",
+    "profile_log",
+    "DATASETS",
+    "load_dataset",
+]

@@ -1,0 +1,82 @@
+"""CSV event-log IO: the paper's "typical relational form" (§3.1).
+
+Each row is one event: trace identifier, event type and timestamp, plus any
+extra application-specific columns (kept as string attributes on read).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO
+
+from repro.core.model import Event, EventLog
+
+DEFAULT_COLUMNS = ("trace_id", "activity", "timestamp")
+
+
+def read_csv_log(
+    source: str | IO[str],
+    name: str = "",
+    trace_column: str = "trace_id",
+    activity_column: str = "activity",
+    timestamp_column: str = "timestamp",
+) -> EventLog:
+    """Read a CSV event table into an :class:`EventLog`.
+
+    The timestamp column may be empty on *every* row of a trace (position
+    numbering is then applied), and extra columns become event attributes.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", newline="") as fh:
+            return _read_rows(fh, name, trace_column, activity_column, timestamp_column)
+    return _read_rows(source, name, trace_column, activity_column, timestamp_column)
+
+
+def _read_rows(
+    fh: IO[str],
+    name: str,
+    trace_column: str,
+    activity_column: str,
+    timestamp_column: str,
+) -> EventLog:
+    reader = csv.DictReader(fh)
+    if reader.fieldnames is None:
+        return EventLog(name=name)
+    required = {trace_column, activity_column}
+    missing = required - set(reader.fieldnames)
+    if missing:
+        raise ValueError(f"CSV log is missing required columns: {sorted(missing)}")
+    core_columns = {trace_column, activity_column, timestamp_column}
+    events = []
+    for row in reader:
+        raw_ts = row.get(timestamp_column)
+        timestamp = float(raw_ts) if raw_ts not in (None, "") else None
+        attributes = {
+            key: value for key, value in row.items() if key not in core_columns
+        }
+        events.append(
+            Event(
+                trace_id=row[trace_column],
+                activity=row[activity_column],
+                timestamp=timestamp,
+                attributes=attributes or None,
+            )
+        )
+    return EventLog.from_events(events, name=name)
+
+
+def write_csv_log(log: EventLog, destination: str | IO[str]) -> None:
+    """Write ``log`` as a three-column CSV event table."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8", newline="") as fh:
+            _write_rows(log, fh)
+    else:
+        _write_rows(log, destination)
+
+
+def _write_rows(log: EventLog, fh: IO[str]) -> None:
+    writer = csv.writer(fh)
+    writer.writerow(DEFAULT_COLUMNS)
+    for trace in log:
+        for activity, ts in zip(trace.activities, trace.timestamps):
+            writer.writerow([trace.trace_id, activity, repr(float(ts))])

@@ -1,0 +1,104 @@
+"""Uniform random log generation: the paper's "random datasets" (§5.2).
+
+These logs deliberately have *no* correlation between event appearances
+("which is not the typical case in practice, and renders the indexing
+problem more challenging"), making them the stress test for the three STNM
+pair-creation flavors in Figure 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.model import EventLog, Trace
+
+
+def activity_alphabet(num_activities: int, prefix: str = "act") -> list[str]:
+    """Stable activity names ``act_000 .. act_NNN`` (zero-padded, sortable)."""
+    width = max(3, len(str(max(num_activities - 1, 0))))
+    return [f"{prefix}_{i:0{width}d}" for i in range(num_activities)]
+
+
+@dataclass(frozen=True)
+class RandomLogConfig:
+    """Knobs of the random generator, mirroring the paper's sweep axes.
+
+    ``max_events_per_trace`` bounds a uniformly drawn per-trace length in
+    ``[min_events_per_trace, max_events_per_trace]``; activities are drawn
+    uniformly from an alphabet of ``num_activities``.  ``timestamp_gap_max``
+    > 1 draws integer gaps uniformly in ``[1, timestamp_gap_max]`` so that
+    durations are non-trivial; 1 yields pure position timestamps.
+    """
+
+    num_traces: int
+    max_events_per_trace: int
+    num_activities: int
+    min_events_per_trace: int = 1
+    timestamp_gap_max: int = 1
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_traces < 0:
+            raise ValueError("num_traces must be >= 0")
+        if self.num_activities <= 0:
+            raise ValueError("num_activities must be positive")
+        if not 1 <= self.min_events_per_trace <= self.max_events_per_trace:
+            raise ValueError(
+                "need 1 <= min_events_per_trace <= max_events_per_trace"
+            )
+        if self.timestamp_gap_max < 1:
+            raise ValueError("timestamp_gap_max must be >= 1")
+
+
+def generate_random_log(config: RandomLogConfig) -> EventLog:
+    """Generate a reproducible uniform random :class:`EventLog`."""
+    rng = random.Random(config.seed)
+    alphabet = activity_alphabet(config.num_activities)
+    traces = []
+    for t in range(config.num_traces):
+        length = rng.randint(config.min_events_per_trace, config.max_events_per_trace)
+        ts = 0
+        pairs = []
+        for _ in range(length):
+            ts += 1 if config.timestamp_gap_max == 1 else rng.randint(
+                1, config.timestamp_gap_max
+            )
+            pairs.append((rng.choice(alphabet), ts))
+        traces.append(Trace.from_pairs(f"trace_{t}", pairs))
+    name = config.name or (
+        f"random_t{config.num_traces}_e{config.max_events_per_trace}"
+        f"_a{config.num_activities}"
+    )
+    return EventLog(traces, name=name)
+
+
+def random_patterns(
+    log: EventLog,
+    length: int,
+    count: int,
+    seed: int = 0,
+    existing: bool = True,
+) -> list[list[str]]:
+    """Query workload: ``count`` random patterns of ``length`` events.
+
+    With ``existing=True`` each pattern is a (possibly gapped) subsequence
+    sampled from a real trace, so detection queries have matches -- the
+    paper's query workloads search for patterns drawn from the logs.
+    Otherwise patterns are uniform over the alphabet.
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(log.activities())
+    if not alphabet:
+        raise ValueError("log has no activities to sample patterns from")
+    traces = [trace for trace in log if len(trace) >= length]
+    patterns: list[list[str]] = []
+    for _ in range(count):
+        if existing and traces:
+            trace = rng.choice(traces)
+            positions = sorted(rng.sample(range(len(trace)), length))
+            patterns.append([trace.activities[i] for i in positions])
+        else:
+            patterns.append([rng.choice(alphabet) for _ in range(length)])
+    return patterns

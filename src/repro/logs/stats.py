@@ -1,0 +1,97 @@
+"""Dataset profiling: the numbers behind Table 4 and Figure 2.
+
+:func:`profile_log` computes, for one log, the trace/activity counts plus
+the distributions of events-per-trace and unique-activities-per-trace that
+Figure 2 plots; :func:`format_profile_table` prints the Table 4 layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import EventLog
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Summary of a per-trace quantity (five-number-ish profile)."""
+
+    minimum: float
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "Distribution":
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(values)
+        count = len(ordered)
+        return cls(
+            minimum=float(ordered[0]),
+            mean=sum(ordered) / count,
+            median=float(ordered[count // 2]),
+            p95=float(ordered[min(count - 1, int(count * 0.95))]),
+            maximum=float(ordered[-1]),
+        )
+
+    def row(self) -> str:
+        return (
+            f"min={self.minimum:g} mean={self.mean:.2f} median={self.median:g} "
+            f"p95={self.p95:g} max={self.maximum:g}"
+        )
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """One dataset's shape (Table 4 row + Figure 2 distributions)."""
+
+    name: str
+    num_traces: int
+    num_events: int
+    num_activities: int
+    events_per_trace: Distribution
+    activities_per_trace: Distribution
+
+    def table4_row(self) -> tuple[str, int, int]:
+        """(log file, number of traces, activities) as printed in Table 4."""
+        return (self.name, self.num_traces, self.num_activities)
+
+
+def profile_log(log: EventLog, name: str | None = None) -> DatasetProfile:
+    """Compute the full shape profile of ``log``."""
+    events_per_trace = [float(len(trace)) for trace in log]
+    activities_per_trace = [float(len(trace.alphabet())) for trace in log]
+    return DatasetProfile(
+        name=name if name is not None else log.name,
+        num_traces=len(log),
+        num_events=log.num_events,
+        num_activities=len(log.activities()),
+        events_per_trace=Distribution.from_values(events_per_trace),
+        activities_per_trace=Distribution.from_values(activities_per_trace),
+    )
+
+
+def format_profile_table(profiles: list[DatasetProfile]) -> str:
+    """Render profiles in the layout of the paper's Table 4."""
+    lines = [
+        f"{'Log file':<14} {'Traces':>8} {'Activities':>11} {'Events':>9}",
+        "-" * 46,
+    ]
+    for profile in profiles:
+        lines.append(
+            f"{profile.name:<14} {profile.num_traces:>8} "
+            f"{profile.num_activities:>11} {profile.num_events:>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_distributions(profiles: list[DatasetProfile]) -> str:
+    """Render the Figure 2 distribution summaries as text."""
+    lines = []
+    for profile in profiles:
+        lines.append(f"{profile.name}:")
+        lines.append(f"  events/trace:     {profile.events_per_trace.row()}")
+        lines.append(f"  activities/trace: {profile.activities_per_trace.row()}")
+    return "\n".join(lines)

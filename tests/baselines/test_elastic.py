@@ -1,0 +1,192 @@
+"""Elasticsearch-like baseline: postings, span queries, segment lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.elastic import ElasticIndex
+from repro.baselines.elastic.analyzer import analyze_trace
+from repro.baselines.elastic.postings import PostingsBuffer, merge_segments
+from repro.baselines.elastic.search import candidate_documents, span_near
+from repro.core.model import EventLog, Trace
+
+
+def _brute_force_greedy_spans(activities, pattern):
+    """Oracle for unlimited-slop spans: greedy non-overlapping chains."""
+    spans = []
+    floor = -1
+    while True:
+        chain = []
+        prev = floor
+        ok = True
+        for term in pattern:
+            idx = next(
+                (i for i in range(prev + 1, len(activities)) if activities[i] == term),
+                None,
+            )
+            if idx is None:
+                ok = False
+                break
+            chain.append(idx)
+            prev = idx
+        if not ok:
+            return spans
+        spans.append(tuple(chain))
+        floor = chain[-1]
+
+
+class TestAnalyzer:
+    def test_positions_and_source(self):
+        trace = Trace.from_pairs("t", [("a", 1.5), ("b", 2.5)])
+        doc = analyze_trace(7, trace)
+        assert doc.doc_id == 7
+        assert doc.terms == ("a", "b")
+        assert doc.timestamps == (1.5, 2.5)
+
+
+class TestPostings:
+    def _segment(self):
+        buffer = PostingsBuffer()
+        buffer.add_document(analyze_trace(0, Trace.from_activities("t0", "aba")))
+        buffer.add_document(analyze_trace(1, Trace.from_activities("t1", "bb")))
+        return buffer.refresh()
+
+    def test_postings_positions(self):
+        segment = self._segment()
+        (posting,) = segment.postings("a")
+        assert posting.doc_id == 0
+        assert posting.positions.tolist() == [0, 2]
+
+    def test_doc_frequency(self):
+        segment = self._segment()
+        assert segment.doc_frequency("b") == 2
+        assert segment.doc_frequency("zz") == 0
+
+    def test_refresh_clears_buffer(self):
+        buffer = PostingsBuffer()
+        buffer.add_document(analyze_trace(0, Trace.from_activities("t", "a")))
+        buffer.refresh()
+        assert len(buffer) == 0
+
+    def test_duplicate_doc_rejected(self):
+        buffer = PostingsBuffer()
+        doc = analyze_trace(0, Trace.from_activities("t", "a"))
+        buffer.add_document(doc)
+        with pytest.raises(ValueError):
+            buffer.add_document(doc)
+
+    def test_merge_segments(self):
+        b1 = PostingsBuffer()
+        b1.add_document(analyze_trace(0, Trace.from_activities("t0", "ab")))
+        b2 = PostingsBuffer()
+        b2.add_document(analyze_trace(1, Trace.from_activities("t1", "ba")))
+        merged = merge_segments([b1.refresh(), b2.refresh()])
+        assert merged.num_documents == 2
+        assert [p.doc_id for p in merged.postings("a")] == [0, 1]
+
+    def test_merge_rejects_duplicate_ids(self):
+        b1 = PostingsBuffer()
+        b1.add_document(analyze_trace(0, Trace.from_activities("t0", "a")))
+        b2 = PostingsBuffer()
+        b2.add_document(analyze_trace(0, Trace.from_activities("t1", "a")))
+        with pytest.raises(ValueError):
+            merge_segments([b1.refresh(), b2.refresh()])
+
+
+class TestSpanSearch:
+    def _segment(self, docs):
+        buffer = PostingsBuffer()
+        for i, acts in enumerate(docs):
+            buffer.add_document(analyze_trace(i, Trace.from_activities(f"t{i}", acts)))
+        return buffer.refresh()
+
+    def test_candidates_require_all_terms(self):
+        segment = self._segment(["ab", "ac", "bc"])
+        assert candidate_documents(segment, ["a", "b"]) == [0]
+        assert candidate_documents(segment, ["a"]) == [0, 1]
+        assert candidate_documents(segment, ["a", "z"]) == []
+        assert candidate_documents(segment, []) == []
+
+    def test_unlimited_slop_greedy(self):
+        segment = self._segment(["axbxaxb"])
+        spans = span_near(segment, ["a", "b"])
+        assert [s.positions for s in spans] == [(0, 2), (4, 6)]
+
+    def test_phrase_slop_zero(self):
+        segment = self._segment(["aab"])
+        spans = span_near(segment, ["a", "a", "b"], slop=0)
+        assert [s.positions for s in spans] == [(0, 1, 2)]
+
+    def test_slop_bounds_width(self):
+        segment = self._segment(["axxb", "ab"])
+        assert {s.doc_id for s in span_near(segment, ["a", "b"], slop=0)} == {1}
+        assert {s.doc_id for s in span_near(segment, ["a", "b"], slop=2)} == {0, 1}
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            span_near(self._segment(["a"]), [])
+
+    @given(
+        st.lists(st.sampled_from("abc"), max_size=40),
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_unlimited_matches_oracle(self, activities, pattern):
+        segment = self._segment(["".join(activities)])
+        got = [s.positions for s in span_near(segment, pattern)]
+        assert got == _brute_force_greedy_spans(list(activities), pattern)
+
+
+class TestElasticIndex:
+    def test_from_log_and_count(self, paper_log):
+        index = ElasticIndex.from_log(paper_log)
+        assert index.num_documents == 3
+        assert index.count(["A", "B"]) == 3
+        assert index.contains(["B", "A"]) == ["t1", "t3"]
+
+    def test_timestamps_reported(self, paper_log):
+        index = ElasticIndex.from_log(paper_log)
+        t2 = [m for m in index.span_search(["A", "B"]) if m.trace_id == "t2"]
+        assert t2[0].timestamps == (0, 1)
+
+    def test_incremental_indexing_with_refresh(self):
+        index = ElasticIndex()
+        index.index_log(EventLog.from_dict({"t1": "ab"}))
+        index.refresh()
+        assert index.count(["a", "b"]) == 1
+        index.index_log(EventLog.from_dict({"t2": "ab"}))
+        index.refresh()
+        assert index.count(["a", "b"]) == 2
+
+    def test_auto_refresh_on_buffer_size(self):
+        index = ElasticIndex(refresh_every=2)
+        index.index_log(EventLog.from_dict({"a": "xy", "b": "xy", "c": "xy"}))
+        index.refresh()
+        assert index.count(["x", "y"]) == 3
+
+    def test_force_merge_keeps_results(self, paper_log):
+        index = ElasticIndex(refresh_every=1)
+        index.index_log(paper_log)
+        before = index.span_search(["A", "B"])
+        index.force_merge()
+        assert index.span_search(["A", "B"]) == before
+
+    def test_empty_index_queries(self):
+        index = ElasticIndex()
+        assert index.span_search(["a"]) == []
+
+    def test_invalid_refresh_every(self):
+        with pytest.raises(ValueError):
+            ElasticIndex(refresh_every=0)
+
+    def test_sc_phrase_agrees_with_suffix_baseline(self, paper_log):
+        from repro.baselines.suffix import SuffixArrayMatcher
+
+        index = ElasticIndex.from_log(paper_log)
+        matcher = SuffixArrayMatcher(paper_log)
+        for pattern in (["A", "A"], ["A", "B"], ["A", "A", "B"], ["C", "B"]):
+            es = sorted((m.trace_id, m.timestamps) for m in index.span_search(pattern, slop=0))
+            sa = sorted((m.trace_id, m.timestamps) for m in matcher.detect(pattern))
+            assert es == sa, pattern

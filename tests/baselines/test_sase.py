@@ -1,0 +1,164 @@
+"""SASE CEP engine: selection strategies, windows, full-log evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sase import SaseEngine, SasePattern
+from repro.baselines.sase.nfa import Nfa
+from repro.core.model import EventLog
+from repro.core.policies import Policy
+
+
+def _oracle_stnm(activities, pattern):
+    """Reference STNM: greedy single-run scan, restart after completion."""
+    matches = []
+    state = 0
+    chain = []
+    for i, activity in enumerate(activities):
+        if activity == pattern[state]:
+            chain.append(i)
+            state += 1
+            if state == len(pattern):
+                matches.append(tuple(chain))
+                state = 0
+                chain = []
+    return matches
+
+
+class TestPattern:
+    def test_seq_constructor(self):
+        pattern = SasePattern.seq("a", "b", strategy=Policy.SC, within=5.0)
+        assert pattern.event_types == ("a", "b")
+        assert len(pattern) == 2
+        assert "SEQ(a, b)" in str(pattern)
+        assert "WITHIN" in str(pattern)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SasePattern(())
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            SasePattern.seq("a", within=0)
+
+
+class TestStrictContiguity:
+    def test_paper_example(self):
+        nfa = Nfa(SasePattern.seq("A", "A", "B", strategy=Policy.SC))
+        acts = list("AAABAACB")
+        matches = nfa.evaluate(acts, list(range(8)))
+        assert matches == [(1, 2, 3)]
+
+    def test_overlapping_sc_matches_allowed(self):
+        nfa = Nfa(SasePattern.seq("A", "A", strategy=Policy.SC))
+        matches = nfa.evaluate(list("AAA"), [0, 1, 2])
+        assert matches == [(0, 1), (1, 2)]
+
+    def test_within_window(self):
+        nfa = Nfa(SasePattern.seq("A", "B", strategy=Policy.SC, within=1.0))
+        assert nfa.evaluate(["A", "B"], [0.0, 5.0]) == []
+        assert nfa.evaluate(["A", "B"], [0.0, 0.5]) == [(0.0, 0.5)]
+
+
+class TestSkipTillNextMatch:
+    def test_paper_example(self):
+        nfa = Nfa(SasePattern.seq("A", "A", "B"))
+        matches = nfa.evaluate(list("AAABAACB"), list(range(8)))
+        assert matches == [(0, 1, 3), (4, 5, 7)]
+
+    @given(
+        st.lists(st.sampled_from("AB"), max_size=40),
+        st.lists(st.sampled_from("AB"), min_size=1, max_size=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_oracle(self, activities, pattern):
+        nfa = Nfa(SasePattern.seq(*pattern))
+        got = nfa.evaluate(activities, list(range(len(activities))))
+        assert got == _oracle_stnm(activities, pattern)
+
+    def test_max_matches(self):
+        nfa = Nfa(SasePattern.seq("A"))
+        got = nfa.evaluate(list("AAAA"), [0, 1, 2, 3], max_matches=2)
+        assert got == [(0,), (1,)]
+
+    def test_window_restarts_run(self):
+        nfa = Nfa(SasePattern.seq("A", "B", within=2.0))
+        # A@0 .. B@5 exceeds window; the run resets and A@4-B@5 matches.
+        matches = nfa.evaluate(["A", "x", "x", "x", "A", "B"], [0, 1, 2, 3, 4, 5])
+        assert matches == [(4, 5)]
+
+
+class TestSkipTillAnyMatch:
+    def test_all_embeddings(self):
+        nfa = Nfa(SasePattern.seq("A", "B", strategy=Policy.STAM))
+        matches = nfa.evaluate(list("AAB"), [0, 1, 2])
+        assert sorted(matches) == [(0, 2), (1, 2)]
+
+    def test_missing_symbol_short_circuits(self):
+        nfa = Nfa(SasePattern.seq("A", "Z", strategy=Policy.STAM))
+        assert nfa.evaluate(list("AAB"), [0, 1, 2]) == []
+
+    def test_window_prunes(self):
+        nfa = Nfa(SasePattern.seq("A", "B", strategy=Policy.STAM, within=1.0))
+        matches = nfa.evaluate(["A", "B", "B"], [0.0, 0.5, 9.0])
+        assert matches == [(0.0, 0.5)]
+
+    def test_max_matches_cap(self):
+        nfa = Nfa(SasePattern.seq("A", "B", strategy=Policy.STAM))
+        got = nfa.evaluate(list("AAAABBBB"), list(range(8)), max_matches=3)
+        assert len(got) == 3
+
+
+class TestEngine:
+    def test_query_across_traces(self, paper_log):
+        engine = SaseEngine(paper_log)
+        matches = engine.query(["A", "B"])
+        by_trace = {}
+        for match in matches:
+            by_trace.setdefault(match.trace_id, []).append(match.timestamps)
+        assert by_trace["t1"] == [(0, 3), (4, 7)]
+        assert by_trace["t2"] == [(0, 1)]
+
+    def test_plain_list_promoted(self, paper_log):
+        engine = SaseEngine(paper_log)
+        assert engine.query(["A", "B"], strategy=Policy.SC)
+
+    def test_contains_early_exit(self, paper_log):
+        engine = SaseEngine(paper_log)
+        assert engine.contains(["A", "B"]) == ["t1", "t2"]
+        assert engine.contains(["Z"]) == []
+
+    def test_global_max_matches(self):
+        log = EventLog.from_dict({f"t{i}": "AB" for i in range(10)})
+        engine = SaseEngine(log)
+        assert len(engine.query(["A", "B"], max_matches=4)) == 4
+
+    def test_sc_query_agrees_with_suffix_baseline(self, paper_log):
+        from repro.baselines.suffix import SuffixArrayMatcher
+
+        engine = SaseEngine(paper_log)
+        matcher = SuffixArrayMatcher(paper_log)
+        for pattern in (["A", "A"], ["A", "B"], ["B", "A"], ["A", "A", "B"]):
+            sase = sorted(
+                (m.trace_id, m.timestamps)
+                for m in engine.query(pattern, strategy=Policy.SC)
+            )
+            suffix = sorted(
+                (m.trace_id, m.timestamps) for m in matcher.detect(pattern)
+            )
+            assert sase == suffix, pattern
+
+    def test_length2_stnm_agrees_with_our_index(self, paper_log):
+        """On length-2 patterns all STNM formulations coincide."""
+        from repro.core.engine import SequenceIndex
+
+        engine = SaseEngine(paper_log)
+        index = SequenceIndex()
+        index.update(paper_log)
+        for pattern in (["A", "B"], ["B", "A"], ["A", "A"], ["B", "C"]):
+            sase = sorted((m.trace_id, m.timestamps) for m in engine.query(pattern))
+            ours = sorted((m.trace_id, m.timestamps) for m in index.detect(pattern))
+            assert sase == ours, pattern

@@ -1,0 +1,104 @@
+"""SASE+ Kleene-plus patterns (SC and STNM)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sase import SaseEngine, SasePattern
+from repro.baselines.sase.nfa import Nfa
+from repro.core.model import EventLog
+from repro.core.policies import Policy
+
+
+class TestPatternParsing:
+    def test_plus_suffix_parsed(self):
+        pattern = SasePattern.seq("a", "b+", "c")
+        assert pattern.event_types == ("a", "b", "c")
+        assert pattern.kleene == (False, True, False)
+        assert pattern.has_kleene
+        assert "b+" in str(pattern)
+
+    def test_bare_plus_is_a_type(self):
+        pattern = SasePattern.seq("+")
+        assert pattern.event_types == ("+",)
+        assert not pattern.has_kleene
+
+    def test_flag_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            SasePattern(("a", "b"), kleene=(True,))
+
+
+class TestStnmKleene:
+    def _eval(self, pattern, text):
+        nfa = Nfa(SasePattern.seq(*pattern))
+        return nfa.evaluate(list(text), list(range(len(text))))
+
+    def test_absorbs_multiple(self):
+        assert self._eval(["a", "b+", "c"], "abbbc") == [(0, 1, 2, 3, 4)]
+
+    def test_requires_at_least_one(self):
+        assert self._eval(["a", "b+", "c"], "ac") == []
+
+    def test_skips_irrelevant_during_absorption(self):
+        # x events are skipped; both b's belong to the group.
+        assert self._eval(["a", "b+", "c"], "abxbc") == [(0, 1, 3, 4)]
+
+    def test_absorption_stops_at_next_type(self):
+        # The second b comes after c, so it is not absorbed.
+        assert self._eval(["a", "b+", "c"], "abcb") == [(0, 1, 2)]
+
+    def test_trailing_kleene_runs_to_end(self):
+        assert self._eval(["a", "b+"], "abxb") == [(0, 1, 3)]
+
+    def test_trailing_kleene_is_maximal_munch(self):
+        # A trailing + group absorbs every later occurrence, so one match
+        # covers the trace instead of two smaller ones.
+        matches = self._eval(["a", "b+"], "abab")
+        assert matches == [(0, 1, 3)]
+
+    def test_non_overlapping_repeats_with_closing_element(self):
+        matches = self._eval(["a", "b+", "c"], "abcabc")
+        assert matches == [(0, 1, 2), (3, 4, 5)]
+
+    def test_within_window(self):
+        nfa = Nfa(SasePattern.seq("a", "b+", within=1.0))
+        assert nfa.evaluate(["a", "b", "b"], [0.0, 0.5, 9.0]) == []
+        nfa2 = Nfa(SasePattern.seq("a", "b+", within=10.0))
+        assert nfa2.evaluate(["a", "b", "b"], [0.0, 0.5, 9.0]) == [(0.0, 0.5, 9.0)]
+
+    def test_max_matches(self):
+        nfa = Nfa(SasePattern.seq("a+"))
+        got = nfa.evaluate(list("xaxa"), [0, 1, 2, 3], max_matches=1)
+        assert got == [(1, 3)]
+
+
+class TestScKleene:
+    def _eval(self, pattern, text):
+        nfa = Nfa(SasePattern.seq(*pattern, strategy=Policy.SC))
+        return nfa.evaluate(list(text), list(range(len(text))))
+
+    def test_contiguous_group(self):
+        assert self._eval(["a", "b+", "c"], "abbc") == [(0, 1, 2, 3)]
+
+    def test_gap_breaks_group(self):
+        assert self._eval(["a", "b+", "c"], "abxbc") == []
+
+    def test_group_must_be_followed_immediately(self):
+        assert self._eval(["a", "b+", "c"], "abbxc") == []
+
+    def test_later_start_found(self):
+        assert self._eval(["a", "b+"], "xxab") == [(2, 3)]
+
+
+class TestEngineIntegration:
+    def test_kleene_query_over_log(self):
+        log = EventLog.from_dict({"t1": "abbc", "t2": "ac", "t3": "abc"})
+        engine = SaseEngine(log)
+        matches = engine.query(SasePattern.seq("a", "b+", "c"))
+        assert {m.trace_id: len(m.timestamps) for m in matches} == {"t1": 4, "t3": 3}
+
+    def test_stam_kleene_unsupported(self):
+        log = EventLog.from_dict({"t": "abc"})
+        engine = SaseEngine(log)
+        with pytest.raises(NotImplementedError):
+            engine.query(SasePattern.seq("a+", strategy=Policy.STAM))

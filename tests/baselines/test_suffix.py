@@ -1,0 +1,158 @@
+"""Suffix-array baseline ([19]): construction and SC matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.suffix import (
+    SuffixArrayMatcher,
+    TraceTree,
+    build_suffix_array,
+    naive_suffix_array,
+)
+from repro.core.model import EventLog
+
+
+class TestSuffixArray:
+    @given(st.lists(st.integers(0, 8), max_size=80))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert build_suffix_array(arr).tolist() == naive_suffix_array(arr).tolist()
+
+    def test_empty(self):
+        assert build_suffix_array(np.empty(0, dtype=np.int64)).tolist() == []
+
+    def test_known_example(self):
+        # "banana" as ints: suffix array = [5,3,1,0,4,2]
+        text = np.asarray([2, 1, 3, 1, 3, 1], dtype=np.int64)  # b,a,n,a,n,a
+        assert build_suffix_array(text).tolist() == [5, 3, 1, 0, 4, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            build_suffix_array(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestTraceTree:
+    def test_deduplicates_identical_traces(self):
+        tree = TraceTree()
+        tree.insert("t1", ["a", "b"])
+        tree.insert("t2", ["a", "b"])
+        tree.insert("t3", ["a", "c"])
+        paths = tree.distinct_paths()
+        assert len(paths) == 3 - 1
+        by_path = dict(paths)
+        assert sorted(by_path[("a", "b")]) == ["t1", "t2"]
+        assert by_path[("a", "c")] == ["t3"]
+
+    def test_prefix_path_traces_kept_separate(self):
+        tree = TraceTree()
+        tree.insert("short", ["a"])
+        tree.insert("long", ["a", "b"])
+        by_path = dict(tree.distinct_paths())
+        assert by_path[("a",)] == ["short"]
+        assert by_path[("a", "b")] == ["long"]
+
+    def test_node_count(self):
+        tree = TraceTree()
+        tree.insert("t1", ["a", "b"])
+        tree.insert("t2", ["a", "c"])
+        assert tree.num_nodes() == 3  # a, a->b, a->c
+        assert tree.num_traces == 2
+
+    def test_preorder_string_shape(self):
+        tree = TraceTree()
+        tree.insert("t", ["a", "b"])
+        encode = {"a": 1, "b": 2}
+        preorder = tree.preorder_string(encode)
+        assert preorder == [1, 2, 0, 0]
+
+    def test_from_log(self, paper_log):
+        tree = TraceTree.from_log(paper_log)
+        assert tree.num_traces == 3
+
+
+def _brute_force_sc(log, pattern):
+    matches = []
+    width = len(pattern)
+    for trace in log:
+        acts = trace.activities
+        for start in range(len(acts) - width + 1):
+            if acts[start : start + width] == pattern:
+                matches.append(
+                    (trace.trace_id, tuple(trace.timestamps[start : start + width]))
+                )
+    return sorted(matches)
+
+
+@pytest.mark.parametrize("mode", ("materialized", "array"))
+class TestMatcher:
+    def test_detect_equals_brute_force(self, paper_log, mode):
+        matcher = SuffixArrayMatcher(paper_log, mode=mode)
+        for pattern in (["A"], ["A", "B"], ["A", "A"], ["B", "C"], ["C", "B", "A"]):
+            got = sorted((m.trace_id, m.timestamps) for m in matcher.detect(pattern))
+            assert got == _brute_force_sc(paper_log, pattern), pattern
+
+    def test_unknown_symbol(self, paper_log, mode):
+        matcher = SuffixArrayMatcher(paper_log, mode=mode)
+        assert matcher.detect(["Z"]) == []
+        assert matcher.contains(["A", "Z"]) == []
+
+    def test_empty_pattern_rejected(self, paper_log, mode):
+        matcher = SuffixArrayMatcher(paper_log, mode=mode)
+        with pytest.raises(ValueError):
+            matcher.detect([])
+
+    def test_duplicate_traces_fan_out(self, mode):
+        log = EventLog.from_dict({"t1": "XY", "t2": "XY"})
+        matcher = SuffixArrayMatcher(log, mode=mode)
+        assert matcher.stats.distinct_traces == 1
+        assert matcher.stats.num_traces == 2
+        assert matcher.contains(["X", "Y"]) == ["t1", "t2"]
+
+    def test_continuations(self, mode):
+        log = EventLog.from_dict({"t1": "ABC", "t2": "ABD", "t3": "ABC"})
+        matcher = SuffixArrayMatcher(log, mode=mode)
+        assert matcher.continuations(["A", "B"]) == {"C": 2, "D": 1}
+        assert matcher.continuations(["B", "C"]) == {}
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["t1", "t2", "t3", "t4"]),
+            st.lists(st.sampled_from("ABC"), min_size=1, max_size=15),
+            min_size=1,
+            max_size=4,
+        ),
+        st.lists(st.sampled_from("ABC"), min_size=1, max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_equivalence_with_brute_force(self, mode, traces, pattern):
+        log = EventLog.from_dict(traces)
+        matcher = SuffixArrayMatcher(log, mode=mode)
+        got = sorted((m.trace_id, m.timestamps) for m in matcher.detect(pattern))
+        assert got == _brute_force_sc(log, pattern)
+
+
+class TestModesAgree:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.lists(st.sampled_from("XYZ"), min_size=1, max_size=12),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_detection_identical(self, traces):
+        log = EventLog.from_dict(traces)
+        fast = SuffixArrayMatcher(log, mode="array")
+        faithful = SuffixArrayMatcher(log, mode="materialized")
+        for pattern in (["X"], ["X", "Y"], ["Z", "Z"], ["X", "Y", "Z"]):
+            assert fast.detect(pattern) == faithful.detect(pattern)
+
+    def test_invalid_mode(self, paper_log):
+        with pytest.raises(ValueError):
+            SuffixArrayMatcher(paper_log, mode="quantum")

@@ -1,0 +1,59 @@
+"""Result table formatting and CSV persistence."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.bench.reporting import ExperimentResult, format_table, write_csv
+
+
+@pytest.fixture
+def result():
+    result = ExperimentResult("tableX", "Demo", ["name", "time"])
+    result.add("alpha", 1.234)
+    result.add("beta", 0.00042)
+    result.note("a caveat")
+    return result
+
+
+class TestExperimentResult:
+    def test_row_arity_enforced(self, result):
+        with pytest.raises(ValueError):
+            result.add("only-one-cell")
+
+    def test_format_contains_everything(self, result):
+        text = format_table(result)
+        assert "tableX" in text and "Demo" in text
+        assert "alpha" in text and "beta" in text
+        assert "a caveat" in text
+
+    def test_float_rendering(self):
+        result = ExperimentResult("t", "t", ["v"])
+        result.add(0.0)
+        result.add(123.456)
+        result.add(0.5)
+        result.add(0.00001)
+        text = format_table(result)
+        assert "123.5" in text
+        assert "0.500" in text
+
+    def test_write_csv_roundtrip(self, result, tmp_path):
+        path = write_csv(result, str(tmp_path))
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["name", "time"]
+        assert rows[1][0] == "alpha"
+        assert len(rows) == 3
+
+
+class TestRunnerCli:
+    def test_runs_selected_experiment(self, tmp_path, capsys, monkeypatch):
+        from repro.bench.runner import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["table4", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert (tmp_path / "results" / "table4.csv").exists()

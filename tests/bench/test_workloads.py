@@ -1,0 +1,75 @@
+"""Workload preparation helpers used by every benchmark."""
+
+from __future__ import annotations
+
+from repro.bench.workloads import (
+    build_index,
+    contiguous_patterns,
+    prepared_dataset,
+    prepared_index,
+    stnm_patterns,
+    timed,
+)
+from repro.core.policies import Policy
+
+
+class TestTimed:
+    def test_returns_elapsed_and_value(self):
+        elapsed, value = timed(lambda: 41 + 1)
+        assert value == 42
+        assert elapsed >= 0.0
+
+
+class TestCaches:
+    def test_dataset_cache_returns_same_object(self):
+        a = prepared_dataset("bpi_2013", 0.01)
+        b = prepared_dataset("bpi_2013", 0.01)
+        assert a is b
+
+    def test_index_cache_keyed_by_policy(self):
+        stnm = prepared_index("bpi_2013", 0.01, Policy.STNM)
+        sc = prepared_index("bpi_2013", 0.01, Policy.SC)
+        assert stnm is not sc
+        assert stnm is prepared_index("bpi_2013", 0.01, Policy.STNM)
+
+
+class TestPatternSampling:
+    def test_stnm_patterns_are_gapped_subsequences(self):
+        log = prepared_dataset("max_100", 0.1)
+        for pattern in stnm_patterns(log, 4, 10, seed=1):
+            assert len(pattern) == 4
+            assert any(_is_subsequence(pattern, t.activities) for t in log)
+
+    def test_contiguous_patterns_are_substrings(self):
+        log = prepared_dataset("max_100", 0.1)
+        for pattern in contiguous_patterns(log, 3, 10, seed=2):
+            assert any(
+                trace.activities[i : i + 3] == pattern
+                for trace in log
+                for i in range(len(trace) - 2)
+            )
+
+    def test_patterns_deterministic_per_seed(self):
+        log = prepared_dataset("max_100", 0.1)
+        assert stnm_patterns(log, 3, 5, seed=9) == stnm_patterns(log, 3, 5, seed=9)
+        assert stnm_patterns(log, 3, 5, seed=9) != stnm_patterns(log, 3, 5, seed=10)
+
+    def test_short_trace_fallback(self):
+        from repro.core.model import EventLog
+
+        log = EventLog.from_dict({"t": ["a"]})
+        patterns = stnm_patterns(log, 5, 3, seed=0)
+        assert len(patterns) == 3  # falls back to alphabet sampling
+
+
+class TestBuildIndex:
+    def test_build_index_queries_work(self):
+        log = prepared_dataset("bpi_2013", 0.01)
+        index = build_index(log, Policy.STNM)
+        patterns = stnm_patterns(log, 2, 3, seed=4)
+        assert any(index.detect(p) for p in patterns)
+
+
+def _is_subsequence(pattern, activities):
+    it = iter(activities)
+    return all(any(a == p for a in it) for p in pattern)

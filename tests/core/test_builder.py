@@ -1,0 +1,199 @@
+"""Index builder (Algorithm 1): full builds, incremental updates,
+duplicate prevention, parallel parity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import IndexBuilder
+from repro.core.engine import SequenceIndex
+from repro.core.errors import TraceOrderError
+from repro.core.model import Event, EventLog
+from repro.core.policies import PairMethod, Policy
+from repro.executor import ParallelExecutor
+from repro.kvstore import InMemoryStore
+
+
+def _build(log, policy=Policy.STNM, method=None, executor=None):
+    store = InMemoryStore()
+    builder = IndexBuilder(store, policy, method, executor)
+    stats = builder.build(log)
+    return builder, stats
+
+
+class TestFullBuild:
+    def test_counts_in_stats(self, paper_log):
+        _, stats = _build(paper_log)
+        assert stats.traces_seen == 3
+        assert stats.new_traces == 3
+        assert stats.events_indexed == paper_log.num_events
+        assert stats.pairs_created > 0
+
+    def test_seq_table_filled(self, paper_log):
+        builder, _ = _build(paper_log)
+        assert builder.tables.get_sequence("t2") == [("A", 0), ("B", 1), ("C", 2)]
+
+    def test_index_matches_pair_creation(self, paper_log):
+        from repro.core.pairs import indexing_pairs
+
+        builder, _ = _build(paper_log)
+        trace = paper_log.trace("t1")
+        expected = indexing_pairs(trace.activities, trace.timestamps)
+        for pair, ts_pairs in expected.items():
+            grouped = builder.tables.get_index_grouped(pair)
+            assert grouped.get("t1") == ts_pairs
+
+    def test_counts_and_durations(self):
+        log = EventLog.from_dict({"t": "AB"})
+        builder, _ = _build(log)
+        assert builder.tables.get_pair_count(("A", "B")) == (1.0, 1)
+        assert builder.tables.get_reverse_counts("B") == {"A": (1.0, 1)}
+
+    def test_last_checked_filled(self, paper_log):
+        builder, _ = _build(paper_log)
+        checked = builder.tables.get_last_checked(("A", "B"))
+        assert "t1" in checked and "t2" in checked
+
+    def test_empty_batch(self):
+        builder, stats = _build(EventLog())
+        assert stats.traces_seen == 0
+
+    @pytest.mark.parametrize(
+        "method", (PairMethod.INDEXING, PairMethod.PARSING, PairMethod.STATE)
+    )
+    def test_methods_produce_identical_tables(self, paper_log, method):
+        reference, _ = _build(paper_log, method=PairMethod.INDEXING)
+        other, _ = _build(paper_log, method=method)
+        for pair in [("A", "B"), ("A", "A"), ("B", "C"), ("C", "B")]:
+            assert sorted(other.tables.get_index(pair)) == sorted(
+                reference.tables.get_index(pair)
+            )
+
+
+class TestConfigurationValidation:
+    def test_sc_policy_requires_strict(self):
+        with pytest.raises(ValueError):
+            IndexBuilder(InMemoryStore(), Policy.SC, PairMethod.INDEXING)
+
+    def test_stnm_policy_rejects_strict(self):
+        with pytest.raises(ValueError):
+            IndexBuilder(InMemoryStore(), Policy.STNM, PairMethod.STRICT)
+
+    def test_stam_not_indexable(self):
+        with pytest.raises(ValueError):
+            IndexBuilder(InMemoryStore(), Policy.STAM)
+
+    def test_defaults(self):
+        assert IndexBuilder(InMemoryStore(), Policy.SC).method is PairMethod.STRICT
+        assert (
+            IndexBuilder(InMemoryStore(), Policy.STNM).method is PairMethod.INDEXING
+        )
+
+
+class TestIncremental:
+    def _batches(self, activities, cuts):
+        """Split one trace's activities into event batches at ``cuts``."""
+        bounds = [0, *cuts, len(activities)]
+        return [
+            [
+                Event("t", activities[i], i)
+                for i in range(bounds[j], bounds[j + 1])
+            ]
+            for j in range(len(bounds) - 1)
+        ]
+
+    @pytest.mark.parametrize("policy", (Policy.STNM, Policy.SC))
+    def test_incremental_equals_batch(self, policy):
+        activities = list("ABCABDBACBAD")
+        full_store = InMemoryStore()
+        IndexBuilder(full_store, policy).build(
+            EventLog.from_dict({"t": activities})
+        )
+        inc_store = InMemoryStore()
+        inc_builder = IndexBuilder(inc_store, policy)
+        for batch in self._batches(activities, [3, 5, 9]):
+            if batch:
+                inc_builder.update(batch)
+        for a in "ABCD":
+            for b in "ABCD":
+                assert sorted(
+                    IndexBuilder(inc_store, policy).tables.get_index((a, b))
+                ) == sorted(
+                    IndexBuilder(full_store, policy).tables.get_index((a, b))
+                ), (a, b)
+
+    @given(
+        st.lists(st.sampled_from("ABCD"), min_size=1, max_size=30),
+        st.lists(st.integers(1, 29), max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_batch_random(self, activities, raw_cuts):
+        cuts = sorted({c for c in raw_cuts if c < len(activities)})
+        full = SequenceIndex(policy=Policy.STNM)
+        full.update(EventLog.from_dict({"t": activities}))
+        inc = SequenceIndex(policy=Policy.STNM)
+        for batch in self._batches(activities, cuts):
+            if batch:
+                inc.update(batch)
+        types = sorted(set(activities))
+        for a in types:
+            for b in types:
+                assert sorted(inc.tables.get_index((a, b))) == sorted(
+                    full.tables.get_index((a, b))
+                ), (a, b, activities, cuts)
+                assert inc.tables.get_pair_count((a, b)) == full.tables.get_pair_count(
+                    (a, b)
+                )
+
+    def test_no_duplicates_on_repeated_updates(self):
+        index = SequenceIndex(policy=Policy.STNM)
+        index.update([Event("t", "A", 1), Event("t", "B", 2)])
+        index.update([Event("t", "A", 3), Event("t", "B", 4)])
+        assert index.tables.get_index(("A", "B")) == [("t", 1, 2), ("t", 3, 4)]
+
+    def test_dangling_anchor_closed_by_later_batch(self):
+        index = SequenceIndex(policy=Policy.STNM)
+        index.update([Event("t", "A", 1)])
+        assert index.tables.get_index(("A", "B")) == []
+        index.update([Event("t", "B", 10)])
+        assert index.tables.get_index(("A", "B")) == [("t", 1, 10)]
+
+    def test_out_of_order_batch_rejected(self):
+        index = SequenceIndex(policy=Policy.STNM)
+        index.update([Event("t", "A", 5)])
+        with pytest.raises(TraceOrderError):
+            index.update([Event("t", "B", 3)])
+
+    def test_non_increasing_batch_rejected(self):
+        index = SequenceIndex(policy=Policy.STNM)
+        with pytest.raises(TraceOrderError):
+            index.update([Event("t", "A", 1), Event("t", "B", 1)])
+
+    def test_batch_events_need_timestamps(self):
+        index = SequenceIndex(policy=Policy.STNM)
+        with pytest.raises(TraceOrderError):
+            index.update([Event("t", "A", None)])
+
+    def test_new_trace_in_later_batch(self):
+        index = SequenceIndex(policy=Policy.STNM)
+        index.update([Event("t1", "A", 1), Event("t1", "B", 2)])
+        stats = index.update([Event("t2", "A", 1), Event("t2", "B", 2)])
+        assert stats.new_traces == 1
+        grouped = index.tables.get_index_grouped(("A", "B"))
+        assert set(grouped) == {"t1", "t2"}
+
+
+class TestParallelParity:
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_parallel_equals_serial(self, paper_log, backend):
+        serial, _ = _build(paper_log, executor=ParallelExecutor.serial())
+        parallel, _ = _build(
+            paper_log, executor=ParallelExecutor(backend=backend, max_workers=3)
+        )
+        for pair in [("A", "B"), ("B", "A"), ("A", "A"), ("C", "B")]:
+            assert sorted(parallel.tables.get_index(pair)) == sorted(
+                serial.tables.get_index(pair)
+            )
+            assert parallel.tables.get_pair_count(pair) == serial.tables.get_pair_count(pair)

@@ -1,0 +1,132 @@
+"""SequenceIndex facade: wiring, persistence, partitions, pruning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SequenceIndex
+from repro.core.errors import IndexStateError
+from repro.core.model import Event, EventLog
+from repro.core.policies import PairMethod, Policy
+from repro.kvstore import LSMStore
+
+
+class TestFacade:
+    def test_default_store_is_memory(self, paper_log):
+        index = SequenceIndex()
+        index.update(paper_log)
+        assert index.detect(["A", "B"])
+        assert index.policy is Policy.STNM
+        assert index.method is PairMethod.INDEXING
+
+    def test_trace_ids_and_activities(self, paper_log):
+        index = SequenceIndex()
+        index.update(paper_log)
+        assert sorted(index.trace_ids()) == ["t1", "t2", "t3"]
+        assert index.activities() == {"A", "B", "C"}
+
+    def test_context_manager_closes_store(self, tmp_path):
+        with SequenceIndex(LSMStore(str(tmp_path / "ix"))) as index:
+            index.update(EventLog.from_dict({"t": "AB"}))
+        from repro.kvstore.api import StoreClosedError
+
+        with pytest.raises(StoreClosedError):
+            index.store.get("meta", "meta")
+
+    def test_prune_trace(self, paper_log):
+        index = SequenceIndex()
+        index.update(paper_log)
+        index.prune_trace("t1")
+        assert "t1" not in index.trace_ids()
+        # Index entries survive pruning: queries still work.
+        assert any(m.trace_id == "t1" for m in index.detect(["A", "B"]))
+        # But incremental updates to the pruned trace would re-create pairs,
+        # so the trace is simply gone from the bookkeeping tables.
+        assert index.tables.get_last_checked(("A", "B")).get("t1") is None
+
+
+class TestIntrospection:
+    def test_get_trace(self, paper_log):
+        index = SequenceIndex()
+        index.update(paper_log)
+        assert index.get_trace("t2") == [("A", 0), ("B", 1), ("C", 2)]
+        assert index.get_trace("missing") == []
+
+    def test_top_pairs(self, paper_log):
+        index = SequenceIndex()
+        index.update(paper_log)
+        top = index.top_pairs(3)
+        assert len(top) == 3
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+        # (A, B) completes 3 times and is the most frequent pair.
+        assert top[0] == (("A", "B"), 3)
+
+    def test_top_pairs_k_bounds(self, paper_log):
+        index = SequenceIndex()
+        index.update(paper_log)
+        with pytest.raises(ValueError):
+            index.top_pairs(0)
+        everything = index.top_pairs(1000)
+        assert len(everything) >= 5
+
+
+class TestPersistence:
+    def test_detect_after_reopen(self, tmp_path, paper_log):
+        path = str(tmp_path / "ix")
+        with SequenceIndex(LSMStore(path)) as index:
+            index.update(paper_log)
+            before = index.detect(["A", "B"])
+        with SequenceIndex(LSMStore(path)) as index:
+            assert index.detect(["A", "B"]) == before
+
+    def test_policy_mismatch_on_reopen(self, tmp_path, paper_log):
+        path = str(tmp_path / "ix")
+        with SequenceIndex(LSMStore(path), policy=Policy.STNM) as index:
+            index.update(paper_log)
+        with pytest.raises(IndexStateError):
+            SequenceIndex(LSMStore(path), policy=Policy.SC)
+
+    def test_incremental_across_reopen(self, tmp_path):
+        path = str(tmp_path / "ix")
+        with SequenceIndex(LSMStore(path)) as index:
+            index.update([Event("t", "A", 1)])
+        with SequenceIndex(LSMStore(path)) as index:
+            index.update([Event("t", "B", 2)])
+            assert index.tables.get_index(("A", "B")) == [("t", 1, 2)]
+
+
+class TestPartitions:
+    def test_partition_isolation_and_union(self, paper_log):
+        index = SequenceIndex()
+        index.update(
+            EventLog.from_dict({"jan_t": "AB"}), partition="2026-01"
+        )
+        index.update(
+            EventLog.from_dict({"feb_t": "AB"}), partition="2026-02"
+        )
+        jan = index.detect(["A", "B"], partition="2026-01")
+        feb = index.detect(["A", "B"], partition="2026-02")
+        both = index.detect(["A", "B"], partition=None)
+        assert {m.trace_id for m in jan} == {"jan_t"}
+        assert {m.trace_id for m in feb} == {"feb_t"}
+        assert {m.trace_id for m in both} == {"jan_t", "feb_t"}
+
+    def test_default_partition_included_in_union(self):
+        index = SequenceIndex()
+        index.update(EventLog.from_dict({"t": "AB"}))
+        assert index.detect(["A", "B"], partition=None)
+
+    def test_partitions_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "ix")
+        with SequenceIndex(LSMStore(path)) as index:
+            index.update(EventLog.from_dict({"t": "AB"}), partition="p1")
+        with SequenceIndex(LSMStore(path)) as index:
+            assert index.detect(["A", "B"], partition=None)
+            assert index.detect(["A", "B"], partition="p1")
+
+    def test_statistics_are_global_across_partitions(self):
+        index = SequenceIndex()
+        index.update(EventLog.from_dict({"a": "AB"}), partition="p1")
+        index.update(EventLog.from_dict({"b": "AB"}), partition="p2")
+        assert index.statistics(["A", "B"]).pairs[0].completions == 2

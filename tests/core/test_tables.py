@@ -1,0 +1,113 @@
+"""Index tables (§3.1.2) over both store backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import IndexStateError
+from repro.core.policies import PairMethod, Policy
+from repro.core.tables import IndexTables
+
+
+@pytest.fixture
+def tables(any_store):
+    tables = IndexTables(any_store)
+    tables.ensure_schema()
+    return tables
+
+
+class TestSchema:
+    def test_idempotent(self, tables):
+        tables.ensure_schema()
+        tables.ensure_schema()
+
+    def test_configuration_recorded_and_enforced(self, tables):
+        tables.check_configuration(Policy.STNM, PairMethod.INDEXING)
+        tables.check_configuration(Policy.STNM, PairMethod.STATE)  # same policy ok
+        with pytest.raises(IndexStateError):
+            tables.check_configuration(Policy.SC, PairMethod.STRICT)
+
+
+class TestSeq:
+    def test_append_and_get(self, tables):
+        tables.append_sequence("t1", [("A", 1.0), ("B", 2.0)])
+        tables.append_sequence("t1", [("C", 3.0)])
+        assert tables.get_sequence("t1") == [("A", 1.0), ("B", 2.0), ("C", 3.0)]
+
+    def test_missing_trace_is_empty(self, tables):
+        assert tables.get_sequence("nope") == []
+
+    def test_iter_sequences_sorted_by_trace(self, tables):
+        tables.append_sequence("b", [("X", 1.0)])
+        tables.append_sequence("a", [("Y", 1.0)])
+        assert [tid for tid, _ in tables.iter_sequences()] == ["a", "b"]
+
+    def test_delete(self, tables):
+        tables.append_sequence("t", [("A", 1.0)])
+        tables.delete_sequence("t")
+        assert tables.get_sequence("t") == []
+
+
+class TestIndex:
+    def test_append_and_group(self, tables):
+        tables.append_index(("A", "B"), [("t1", 1.0, 2.0), ("t2", 5.0, 6.0)])
+        tables.append_index(("A", "B"), [("t1", 3.0, 4.0)])
+        grouped = tables.get_index_grouped(("A", "B"))
+        assert grouped == {"t1": [(1.0, 2.0), (3.0, 4.0)], "t2": [(5.0, 6.0)]}
+
+    def test_missing_pair_empty(self, tables):
+        assert tables.get_index(("X", "Y")) == []
+        assert tables.get_index_grouped(("X", "Y")) == {}
+
+    def test_partitions_isolate_and_union(self, tables):
+        tables.ensure_partition("p1")
+        tables.register_partition("p1")
+        tables.ensure_partition("p2")
+        tables.register_partition("p2")
+        tables.append_index(("A", "B"), [("t1", 1.0, 2.0)], partition="p1")
+        tables.append_index(("A", "B"), [("t2", 3.0, 4.0)], partition="p2")
+        assert tables.get_index(("A", "B"), partition="p1") == [("t1", 1.0, 2.0)]
+        assert tables.get_index(("A", "B"), partition="p2") == [("t2", 3.0, 4.0)]
+        assert tables.get_index(("A", "B"), partition="") == []
+        union = tables.get_index(("A", "B"), partition=None)
+        assert sorted(union) == [("t1", 1.0, 2.0), ("t2", 3.0, 4.0)]
+
+    def test_partition_registration_idempotent(self, tables):
+        tables.register_partition("p")
+        tables.register_partition("p")
+        assert tables.get_meta().get("partitions", []).count("p") <= 1
+
+
+class TestCounts:
+    def test_accumulation(self, tables):
+        tables.add_counts("A", {"B": [10.0, 2]})
+        tables.add_counts("A", {"B": [5.0, 1], "C": [1.0, 1]})
+        counts = tables.get_counts("A")
+        assert counts == {"B": (15.0, 3), "C": (1.0, 1)}
+        assert tables.get_pair_count(("A", "B")) == (15.0, 3)
+        assert tables.get_pair_count(("A", "Z")) == (0.0, 0)
+
+    def test_reverse_counts(self, tables):
+        tables.add_reverse_counts("B", {"A": [10.0, 2]})
+        assert tables.get_reverse_counts("B") == {"A": (10.0, 2)}
+        assert tables.get_reverse_counts("Z") == {}
+
+
+class TestLastChecked:
+    def test_max_semantics(self, tables):
+        tables.update_last_checked(("A", "B"), {"t1": 5.0})
+        tables.update_last_checked(("A", "B"), {"t1": 3.0, "t2": 9.0})
+        checked = tables.get_last_checked(("A", "B"))
+        assert checked == {"t1": 5.0, "t2": 9.0}
+        assert tables.get_last_completion(("A", "B")) == 9.0
+
+    def test_missing(self, tables):
+        assert tables.get_last_checked(("X", "Y")) == {}
+        assert tables.get_last_completion(("X", "Y")) is None
+
+    def test_prune_trace(self, tables):
+        tables.append_sequence("t1", [("A", 1.0), ("B", 2.0)])
+        tables.update_last_checked(("A", "B"), {"t1": 2.0, "t2": 7.0})
+        tables.prune_trace("t1", {"A", "B"})
+        assert tables.get_sequence("t1") == []
+        assert tables.get_last_checked(("A", "B")) == {"t2": 7.0}

@@ -1,0 +1,102 @@
+"""ParallelExecutor: order preservation and backend equivalence."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.executor import ParallelExecutor
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _double(x: int) -> int:
+    return x * 2
+
+
+def _explode(x: int) -> list[int]:
+    return list(range(x % 4))
+
+
+def _sum_partition(partition: list[int]) -> list[int]:
+    return [sum(partition)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("balanced", (True, False))
+class TestBackends:
+    def _executor(self, backend, balanced):
+        return ParallelExecutor(backend=backend, max_workers=3, balanced=balanced)
+
+    def test_map_preserves_order(self, backend, balanced):
+        executor = self._executor(backend, balanced)
+        items = list(range(37))
+        assert executor.map(_double, items) == [x * 2 for x in items]
+
+    def test_flat_map_preserves_order(self, backend, balanced):
+        executor = self._executor(backend, balanced)
+        items = list(range(23))
+        expected = [y for x in items for y in _explode(x)]
+        assert executor.flat_map(_explode, items) == expected
+
+    def test_empty_input(self, backend, balanced):
+        executor = self._executor(backend, balanced)
+        assert executor.map(_double, []) == []
+        assert executor.flat_map(_explode, []) == []
+        assert executor.map_partitions(_sum_partition, []) == []
+
+    def test_single_item(self, backend, balanced):
+        executor = self._executor(backend, balanced)
+        assert executor.map(_double, [21]) == [42]
+
+
+class TestMapPartitions:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partition_sums(self, backend):
+        executor = ParallelExecutor(backend=backend, max_workers=4)
+        result = executor.map_partitions(_sum_partition, list(range(10)))
+        assert sum(result) == sum(range(10))
+
+    def test_serial_runs_one_partition(self):
+        executor = ParallelExecutor.serial()
+        result = executor.map_partitions(_sum_partition, list(range(10)))
+        assert result == [45]
+
+
+class TestConfiguration:
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(backend="gpu")
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+
+    def test_default_workers_positive(self):
+        executor = ParallelExecutor(backend="thread")
+        assert executor.max_workers >= 1
+
+    def test_serial_constructor(self):
+        executor = ParallelExecutor.serial()
+        assert executor.backend == "serial"
+        assert executor.max_workers == 1
+
+    def test_parallel_equals_serial_results(self):
+        items = list(range(100))
+        serial = ParallelExecutor.serial().map(_double, items)
+        for backend in ("thread", "process"):
+            parallel = ParallelExecutor(backend=backend, max_workers=4).map(
+                _double, items
+            )
+            assert parallel == serial
+
+    def test_worker_count_does_not_change_results(self):
+        items = list(range(50))
+        results = {
+            workers: ParallelExecutor(backend="thread", max_workers=workers).flat_map(
+                _explode, items
+            )
+            for workers in (1, 2, 7)
+        }
+        assert len({tuple(r) for r in results.values()}) == 1

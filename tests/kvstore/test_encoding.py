@@ -1,0 +1,206 @@
+"""Key/value codec tests: roundtrips and the order-preservation contract."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvstore.encoding import (
+    KeyEncodingError,
+    ValueEncodingError,
+    decode_key,
+    decode_value,
+    encode_key,
+    encode_value,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+key_part = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+)
+keys = st.tuples() | st.lists(key_part, max_size=5).map(tuple)
+
+value_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**100), max_value=2**100),
+    st.floats(allow_nan=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+values = st.recursive(
+    value_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+# -- key codec -----------------------------------------------------------------
+
+
+class TestKeyRoundtrip:
+    @given(keys)
+    def test_roundtrip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    def test_explicit_examples(self):
+        samples = [
+            (),
+            (0,),
+            (-1,),
+            (2**63 - 1,),
+            (-(2**63),),
+            ("",),
+            ("a\x00b",),
+            (b"\x00\xff",),
+            (None, True, False),
+            (1.5, -2.5, 0.0),
+            ("trace", 42, 3.25),
+        ]
+        for key in samples:
+            assert decode_key(encode_key(key)) == key
+
+    def test_rejects_unsupported_type(self):
+        with pytest.raises(KeyEncodingError):
+            encode_key(([1, 2],))
+
+    def test_rejects_oversized_int(self):
+        with pytest.raises(KeyEncodingError):
+            encode_key((2**70,))
+
+
+class _OrderKey:
+    """Total order over heterogeneous key parts matching the codec's design."""
+
+    _RANK = {type(None): 0, bool: 1, int: 2, float: 3, str: 4, bytes: 5}
+
+    def __init__(self, part):
+        self.part = part
+
+    def _rank(self):
+        if self.part is None:
+            return 0
+        if isinstance(self.part, bool):
+            return 1
+        if isinstance(self.part, int):
+            return 2
+        if isinstance(self.part, float):
+            return 3
+        if isinstance(self.part, str):
+            return 4
+        return 5
+
+    def __lt__(self, other):
+        a, b = self._rank(), other._rank()
+        if a != b:
+            return a < b
+        if self.part is None:
+            return False
+        return self.part < other.part
+
+
+class TestKeyOrdering:
+    @given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1), min_size=2, max_size=50))
+    def test_int_order(self, ints):
+        encoded = [encode_key((i,)) for i in sorted(ints)]
+        assert encoded == sorted(encoded)
+
+    @given(st.lists(st.text(max_size=20), min_size=2, max_size=50))
+    def test_str_order(self, strings):
+        encoded = [encode_key((s,)) for s in sorted(strings)]
+        assert encoded == sorted(encoded)
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_float_order(self, floats):
+        encoded = [encode_key((f,)) for f in sorted(floats)]
+        assert encoded == sorted(encoded)
+
+    @given(st.lists(st.binary(max_size=20), min_size=2, max_size=50))
+    def test_bytes_order(self, blobs):
+        encoded = [encode_key((b,)) for b in sorted(blobs)]
+        assert encoded == sorted(encoded)
+
+    @given(st.text(max_size=15), st.text(max_size=15), st.text(max_size=15))
+    def test_tuple_prefix_composability(self, a, b, c):
+        """encode(x + y) == encode(x) + encode(y): prefix scans rely on it."""
+        assert encode_key((a, b, c)) == encode_key((a,)) + encode_key((b, c))
+
+    def test_prefix_sorts_before_extension(self):
+        assert encode_key(("ab",)) < encode_key(("ab", "c"))
+        assert encode_key(("ab",)) < encode_key(("abc",))
+
+
+class TestKeyDecodingErrors:
+    def test_truncated_int(self):
+        buf = encode_key((1000,))[:-1]
+        with pytest.raises(KeyEncodingError):
+            decode_key(buf)
+
+    def test_unknown_tag(self):
+        with pytest.raises(KeyEncodingError):
+            decode_key(b"\xfe")
+
+    def test_unterminated_string(self):
+        with pytest.raises(KeyEncodingError):
+            decode_key(bytes([0x30]) + b"abc")
+
+
+# -- value codec -------------------------------------------------------------------
+
+
+class TestValueRoundtrip:
+    @given(values)
+    def test_roundtrip(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value) or isinstance(value, bytearray)
+
+    def test_tuple_list_distinction(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert decode_value(encode_value([1, 2])) == [1, 2]
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+
+    def test_big_integers(self):
+        for value in (2**64, -(2**64), 10**30, -(10**30)):
+            assert decode_value(encode_value(value)) == value
+
+    def test_nested_structures(self):
+        value = {"idx": [("t1", 1, 2), ("t2", 3, 4)], "meta": {"n": 2}}
+        assert decode_value(encode_value(value)) == value
+
+    def test_nan_roundtrip(self):
+        decoded = decode_value(encode_value(float("nan")))
+        assert math.isnan(decoded)
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueEncodingError):
+            encode_value(object())
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ValueEncodingError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_truncated_rejected(self):
+        buf = encode_value("hello world")
+        with pytest.raises((ValueEncodingError, UnicodeDecodeError, Exception)):
+            decode_value(buf[:-3])

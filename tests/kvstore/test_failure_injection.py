@@ -1,0 +1,133 @@
+"""Failure injection: the store must fail loudly, not corrupt silently."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.kvstore import LSMStore
+from repro.kvstore.api import CorruptionError
+
+
+def _populated(path):
+    store = LSMStore(path, auto_compact=False)
+    store.create_table("t", merge_operator="list_append")
+    for i in range(50):
+        store.merge("t", i % 5, [i])
+    store.flush()
+    store.close()
+
+
+class TestMissingFiles:
+    def test_missing_sstable_fails_on_open(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        sst = next(f for f in os.listdir(path) if f.endswith(".sst"))
+        os.remove(os.path.join(path, sst))
+        with pytest.raises(FileNotFoundError):
+            LSMStore(path)
+
+    def test_missing_wal_is_fine(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        wal = os.path.join(path, "wal.log")
+        if os.path.exists(wal):
+            os.remove(wal)
+        store = LSMStore(path)
+        assert store.get("t", 0) is not None
+        store.close()
+
+    def test_fresh_directory_bootstraps(self, tmp_path):
+        store = LSMStore(str(tmp_path / "new"))
+        store.create_table("t")
+        store.put("t", "k", 1)
+        assert store.get("t", "k") == 1
+        store.close()
+
+
+class TestCorruptedFiles:
+    def test_corrupt_sstable_footer_detected_on_open(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        sst = next(f for f in os.listdir(path) if f.endswith(".sst"))
+        full = os.path.join(path, sst)
+        with open(full, "r+b") as fh:
+            fh.seek(-20, 2)  # inside the footer's record-count field
+            fh.write(b"\x00" * 4)
+        with pytest.raises(CorruptionError):
+            LSMStore(path)
+
+    def test_corrupt_data_section_detected_by_scrub(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        sst = next(f for f in os.listdir(path) if f.endswith(".sst"))
+        full = os.path.join(path, sst)
+        with open(full, "r+b") as fh:
+            fh.seek(10)  # inside the first data record
+            fh.write(b"\xde\xad")
+        store = LSMStore(path)  # metadata intact: open succeeds
+        with pytest.raises(CorruptionError):
+            store.verify()
+        store.close()
+
+    def test_verify_passes_on_healthy_store(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        store = LSMStore(path)
+        store.verify()
+        store.close()
+
+    def test_corrupt_manifest_raises_json_error(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        with open(os.path.join(path, "MANIFEST"), "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            LSMStore(path)
+
+    def test_wal_mid_corruption_detected(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = LSMStore(path)
+        store.create_table("t")
+        for i in range(20):
+            store.put("t", i, "x" * 50)
+        # Crash without flush: records live only in the WAL.
+        store._wal.close()
+        for reader in store._sstables:
+            reader.close()
+        wal = os.path.join(path, "wal.log")
+        size = os.path.getsize(wal)
+        with open(wal, "r+b") as fh:
+            fh.seek(size // 2)
+            fh.write(b"\xff\xff\xff\xff")
+        with pytest.raises(CorruptionError):
+            LSMStore(path)
+
+    def test_torn_wal_tail_recovers_prefix(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = LSMStore(path)
+        store.create_table("t")
+        store.put("t", "complete", 1)
+        store.put("t", "torn", 2)
+        store._wal.close()
+        for reader in store._sstables:
+            reader.close()
+        wal = os.path.join(path, "wal.log")
+        with open(wal, "r+b") as fh:
+            fh.truncate(os.path.getsize(wal) - 3)
+        recovered = LSMStore(path)
+        assert recovered.get("t", "complete") == 1
+        assert recovered.get("t", "torn") is None
+        recovered.close()
+
+    def test_orphan_tmp_files_ignored(self, tmp_path):
+        path = str(tmp_path / "db")
+        _populated(path)
+        # A crash mid-flush can leave a .tmp SSTable; opening must ignore it.
+        with open(os.path.join(path, "sst-999999.sst.tmp"), "wb") as fh:
+            fh.write(b"partial garbage")
+        store = LSMStore(path)
+        assert store.get("t", 0) is not None
+        store.close()

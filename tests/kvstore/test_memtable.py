@@ -1,0 +1,117 @@
+"""Memtable semantics: base/delta folding, resolution, size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kvstore.encoding import encode_value
+from repro.kvstore.memtable import (
+    BASE_ABSENT,
+    BASE_DELETE,
+    BASE_PUT,
+    TOMBSTONE,
+    Memtable,
+)
+from repro.kvstore.merge import ListAppendMerge
+from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT
+
+OP = ListAppendMerge()
+
+
+class TestApply:
+    def test_put_then_get(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value([1]))
+        resolved, value = table.resolve(b"k", OP)
+        assert resolved and value == [1]
+
+    def test_put_overwrites(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value([1]))
+        table.apply(KIND_PUT, b"k", encode_value([2]))
+        assert table.resolve(b"k", OP) == (True, [2])
+
+    def test_delete_resolves_to_tombstone(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value([1]))
+        table.apply(KIND_DELETE, b"k", b"")
+        resolved, value = table.resolve(b"k", OP)
+        assert resolved and value is TOMBSTONE
+
+    def test_merge_on_put_base(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value([1]))
+        table.apply(KIND_MERGE, b"k", encode_value([2, 3]))
+        assert table.resolve(b"k", OP) == (True, [1, 2, 3])
+
+    def test_merge_on_delete_base(self):
+        table = Memtable()
+        table.apply(KIND_DELETE, b"k", b"")
+        table.apply(KIND_MERGE, b"k", encode_value([7]))
+        assert table.resolve(b"k", OP) == (True, [7])
+
+    def test_bare_merge_is_not_self_contained(self):
+        table = Memtable()
+        table.apply(KIND_MERGE, b"k", encode_value([1]))
+        resolved, _ = table.resolve(b"k", OP)
+        assert not resolved
+        entry = table.lookup(b"k")
+        assert entry.base_kind == BASE_ABSENT
+        assert len(entry.deltas) == 1
+
+    def test_missing_key(self):
+        table = Memtable()
+        assert table.resolve(b"nope", OP) == (False, None)
+        assert table.lookup(b"nope") is None
+
+    def test_merge_without_operator_raises(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value(1))
+        table.apply(KIND_MERGE, b"k", encode_value([1]))
+        with pytest.raises(ValueError):
+            table.resolve(b"k", None)
+
+    def test_unknown_kind_rejected(self):
+        table = Memtable()
+        with pytest.raises(ValueError):
+            table.apply(99, b"k", b"")
+
+
+class TestAccounting:
+    def test_size_grows_and_clears(self):
+        table = Memtable()
+        assert table.approximate_bytes == 0
+        table.apply(KIND_PUT, b"key", encode_value("x" * 100))
+        assert table.approximate_bytes > 100
+        table.clear()
+        assert table.approximate_bytes == 0
+        assert len(table) == 0
+
+    def test_overwrite_does_not_leak_bytes(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value("x" * 1000))
+        table.apply(KIND_PUT, b"k", encode_value("y"))
+        assert table.approximate_bytes < 100
+
+    def test_delete_shrinks(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"k", encode_value("x" * 1000))
+        before = table.approximate_bytes
+        table.apply(KIND_DELETE, b"k", b"")
+        assert table.approximate_bytes < before
+
+
+class TestIteration:
+    def test_iter_sorted_orders_keys(self):
+        table = Memtable()
+        for key in (b"c", b"a", b"b"):
+            table.apply(KIND_PUT, key, encode_value(0))
+        assert [key for key, _ in table.iter_sorted()] == [b"a", b"b", b"c"]
+
+    def test_entry_base_kinds(self):
+        table = Memtable()
+        table.apply(KIND_PUT, b"p", encode_value(1))
+        table.apply(KIND_DELETE, b"d", b"")
+        table.apply(KIND_MERGE, b"m", encode_value([1]))
+        kinds = {key: entry.base_kind for key, entry in table.iter_sorted()}
+        assert kinds == {b"p": BASE_PUT, b"d": BASE_DELETE, b"m": BASE_ABSENT}

@@ -1,0 +1,146 @@
+"""Merge operator semantics, including the associativity contract."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvstore.merge import (
+    CounterMapMerge,
+    LastWriteWins,
+    ListAppendMerge,
+    MaxMapMerge,
+    MergeOperator,
+    register_merge_operator,
+    resolve_merge_operator,
+)
+
+
+class TestListAppend:
+    op = ListAppendMerge()
+
+    def test_full_merge_from_none(self):
+        assert self.op.full_merge(None, [[1, 2], [3]]) == [1, 2, 3]
+
+    def test_full_merge_with_base(self):
+        assert self.op.full_merge([0], [[1], [2]]) == [0, 1, 2]
+
+    def test_partial_merge(self):
+        assert self.op.partial_merge([[1], [2, 3]]) == [1, 2, 3]
+
+    def test_merge_in_place(self):
+        base = [1]
+        assert self.op.merge_in_place(base, [2, 3])
+        assert base == [1, 2, 3]
+
+    @given(
+        st.lists(st.integers(), max_size=5),
+        st.lists(st.lists(st.integers(), max_size=3), min_size=1, max_size=5),
+    )
+    def test_partial_then_full_equals_full(self, base, deltas):
+        """full(base, deltas) == full(base, [partial(deltas)]) -- the
+        compaction-correctness property."""
+        direct = self.op.full_merge(list(base), list(deltas))
+        collapsed = self.op.full_merge(list(base), [self.op.partial_merge(deltas)])
+        assert direct == collapsed
+
+
+class TestCounterMap:
+    op = CounterMapMerge()
+
+    def test_accumulates(self):
+        merged = self.op.full_merge(
+            {"b": [10.0, 2]}, [{"b": [5.0, 1], "c": [1.0, 1]}]
+        )
+        assert merged == {"b": [15.0, 3], "c": [1.0, 1]}
+
+    def test_base_not_mutated_by_full_merge(self):
+        base = {"b": [10.0, 2]}
+        self.op.full_merge(base, [{"b": [1.0, 1]}])
+        assert base == {"b": [10.0, 2]}
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from("abc"),
+                st.tuples(st.integers(0, 100), st.integers(0, 10)).map(list),
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_partial_then_full_equals_full(self, deltas):
+        direct = self.op.full_merge(None, [dict(d) for d in deltas])
+        collapsed = self.op.full_merge(
+            None, [self.op.partial_merge([dict(d) for d in deltas])]
+        )
+        assert direct == collapsed
+
+
+class TestMaxMap:
+    op = MaxMapMerge()
+
+    def test_keeps_maximum(self):
+        merged = self.op.full_merge({"t1": 5}, [{"t1": 3, "t2": 7}, {"t1": 9}])
+        assert merged == {"t1": 9, "t2": 7}
+
+    @given(
+        st.lists(
+            st.dictionaries(st.sampled_from("xyz"), st.integers(-50, 50), max_size=3),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_partial_then_full_equals_full(self, deltas):
+        direct = self.op.full_merge(None, [dict(d) for d in deltas])
+        collapsed = self.op.full_merge(
+            None, [self.op.partial_merge([dict(d) for d in deltas])]
+        )
+        assert direct == collapsed
+
+
+class TestLastWriteWins:
+    op = LastWriteWins()
+
+    def test_latest_delta_wins(self):
+        assert self.op.full_merge("old", ["a", "b"]) == "b"
+
+    def test_no_deltas_keeps_base(self):
+        assert self.op.full_merge("old", []) == "old"
+
+    def test_partial(self):
+        assert self.op.partial_merge(["a", "b"]) == "b"
+
+    def test_in_place_unsupported(self):
+        assert not self.op.merge_in_place("x", "y")
+
+
+class TestRegistry:
+    def test_resolve_known(self):
+        assert resolve_merge_operator("list_append").name == "list_append"
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_merge_operator("nope")
+
+    def test_register_custom(self):
+        class SetUnionMerge(MergeOperator):
+            name = "test_set_union"
+
+            def full_merge(self, base, deltas):
+                out = set(base or ())
+                for delta in deltas:
+                    out |= set(delta)
+                return sorted(out)
+
+            def partial_merge(self, deltas):
+                out = set()
+                for delta in deltas:
+                    out |= set(delta)
+                return sorted(out)
+
+        register_merge_operator(SetUnionMerge())
+        op = resolve_merge_operator("test_set_union")
+        assert op.full_merge([1], [[2], [1, 3]]) == [1, 2, 3]

@@ -1,0 +1,134 @@
+"""Property-based equivalence: LSM store == dict model == InMemoryStore.
+
+A stateful hypothesis test drives random operation sequences (puts, merges,
+deletes, flushes, compactions, reopen-from-disk) against the durable store
+and a plain dictionary model, checking full agreement after every step.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.kvstore import InMemoryStore, LSMStore
+from repro.kvstore.merge import ListAppendMerge
+
+KEYS = st.sampled_from(["a", "b", "c", ("pair", 1), ("pair", 2), 42])
+VALUES = st.one_of(
+    st.integers(-100, 100),
+    st.text(max_size=8),
+    st.lists(st.integers(0, 9), max_size=4),
+)
+DELTAS = st.lists(st.integers(0, 9), min_size=1, max_size=4)
+
+_OP = ListAppendMerge()
+
+
+class StoreModelMachine(RuleBasedStateMachine):
+    """Random ops against LSMStore + InMemoryStore + a dict model."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.dir = tempfile.mkdtemp(prefix="lsm-model-")
+        # Tiny flush threshold and aggressive compaction exercise the full
+        # write path constantly, not just the memtable.
+        self.lsm = LSMStore(self.dir, memtable_flush_bytes=256, compaction_min_tables=2)
+        self.mem = InMemoryStore()
+        for store in (self.lsm, self.mem):
+            store.create_table("plain")
+            store.create_table("idx", merge_operator="list_append")
+        self.model_plain: dict = {}
+        self.model_idx: dict = {}
+
+    def teardown(self) -> None:
+        self.lsm.close()
+        self.mem.close()
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.lsm.put("plain", key, value)
+        self.mem.put("plain", key, value)
+        self.model_plain[_norm(key)] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.lsm.delete("plain", key)
+        self.mem.delete("plain", key)
+        self.model_plain.pop(_norm(key), None)
+
+    @rule(key=KEYS, delta=DELTAS)
+    def merge(self, key, delta):
+        self.lsm.merge("idx", key, delta)
+        self.mem.merge("idx", key, delta)
+        base = self.model_idx.get(_norm(key))
+        self.model_idx[_norm(key)] = _OP.full_merge(base, [list(delta)])
+
+    @rule(key=KEYS)
+    def delete_merged(self, key):
+        self.lsm.delete("idx", key)
+        self.mem.delete("idx", key)
+        self.model_idx.pop(_norm(key), None)
+
+    @rule()
+    def flush(self):
+        self.lsm.flush()
+
+    @rule()
+    def compact(self):
+        self.lsm.compact()
+
+    @rule()
+    def reopen(self):
+        self.lsm.close()
+        self.lsm = LSMStore(
+            self.dir, memtable_flush_bytes=256, compaction_min_tables=2
+        )
+
+    @rule(key=KEYS)
+    def check_point_reads(self, key):
+        expect_plain = self.model_plain.get(_norm(key))
+        expect_idx = self.model_idx.get(_norm(key))
+        for store in (self.lsm, self.mem):
+            assert store.get("plain", key) == expect_plain
+            assert store.get("idx", key) == expect_idx
+
+    @rule(low=KEYS, high=KEYS)
+    def check_range_scans(self, low, high):
+        from repro.kvstore.encoding import encode_key
+
+        low_enc = encode_key(_norm(low))
+        expected = {
+            key: value
+            for key, value in self.model_plain.items()
+            if encode_key(key) >= low_enc and encode_key(key) < encode_key(_norm(high))
+        }
+        for store in (self.lsm, self.mem):
+            got = {k: v for k, v in store.scan_range("plain", low, high)}
+            assert got == expected
+
+    @invariant()
+    def scans_agree_with_model(self):
+        model_plain = dict(self.model_plain)
+        model_idx = dict(self.model_idx)
+        for store in (self.lsm, self.mem):
+            assert {k: v for k, v in store.scan("plain")} == model_plain
+            assert {k: v for k, v in store.scan("idx")} == model_idx
+
+
+def _norm(key):
+    return key if isinstance(key, tuple) else (key,)
+
+
+TestStoreModel = StoreModelMachine.TestCase
+TestStoreModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,124 @@
+"""BPI-like generation, dataset profiling, and the dataset registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logs.bpi import BPI_PROFILES, generate_bpi_like_log, load_bpi_log
+from repro.logs.datasets import DATASETS, SYNTHETIC_SPECS, bench_scale, load_dataset
+from repro.logs.stats import (
+    Distribution,
+    format_distributions,
+    format_profile_table,
+    profile_log,
+)
+
+
+class TestBpiCalibration:
+    @pytest.mark.parametrize("name", sorted(BPI_PROFILES))
+    def test_trace_counts_and_alphabet(self, name):
+        profile = BPI_PROFILES[name]
+        log = load_bpi_log(name, scale=0.1)
+        assert len(log) == round(profile.num_traces * 0.1)
+        assert len(log.activities()) <= profile.num_activities
+        shape = profile_log(log)
+        assert profile.min_events <= shape.events_per_trace.minimum
+        assert shape.events_per_trace.maximum <= profile.max_events
+
+    def test_mean_length_close_to_published(self):
+        profile = BPI_PROFILES["bpi_2013"]
+        log = generate_bpi_like_log(profile, seed=0, scale=0.5)
+        mean = log.num_events / len(log)
+        assert abs(mean - profile.mean_events) / profile.mean_events < 0.35
+
+    def test_deterministic(self):
+        a = load_bpi_log("bpi_2020", seed=3, scale=0.05)
+        b = load_bpi_log("bpi_2020", seed=3, scale=0.05)
+        assert [t.activities for t in a] == [t.activities for t in b]
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            load_bpi_log("bpi_1999")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            generate_bpi_like_log(BPI_PROFILES["bpi_2013"], scale=0)
+
+
+class TestStats:
+    def test_distribution_from_values(self):
+        dist = Distribution.from_values([1.0, 2.0, 3.0, 4.0])
+        assert dist.minimum == 1.0
+        assert dist.maximum == 4.0
+        assert dist.mean == 2.5
+
+    def test_distribution_empty(self):
+        dist = Distribution.from_values([])
+        assert dist.mean == 0.0
+
+    def test_profile_counts(self):
+        from repro.core.model import EventLog
+
+        log = EventLog.from_dict({"a": "XYZ", "b": "XX"})
+        profile = profile_log(log, name="demo")
+        assert profile.name == "demo"
+        assert profile.num_traces == 2
+        assert profile.num_events == 5
+        assert profile.num_activities == 3
+        assert profile.activities_per_trace.minimum == 1.0
+        assert profile.table4_row() == ("demo", 2, 3)
+
+    def test_formatters(self):
+        from repro.core.model import EventLog
+
+        profile = profile_log(EventLog.from_dict({"t": "AB"}), name="demo")
+        table = format_profile_table([profile])
+        assert "demo" in table and "Traces" in table
+        dist = format_distributions([profile])
+        assert "events/trace" in dist
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASETS:
+            log = load_dataset(name, scale=0.01)
+            assert len(log) >= 1
+            assert log.name == name
+
+    def test_synthetic_specs_match_table4(self):
+        assert SYNTHETIC_SPECS["max_100"].num_traces == 100
+        assert SYNTHETIC_SPECS["max_100"].num_activities == 150
+        assert SYNTHETIC_SPECS["min_10000"].num_traces == 10000
+        assert SYNTHETIC_SPECS["min_10000"].num_activities == 15
+
+    def test_scale_controls_trace_count(self):
+        small = load_dataset("max_1000", scale=0.05)
+        bigger = load_dataset("max_1000", scale=0.1)
+        assert len(small) == 50 and len(bigger) == 100
+
+    def test_deterministic_across_calls(self):
+        a = load_dataset("med_5000", scale=0.02)
+        b = load_dataset("med_5000", scale=0.02)
+        assert [t.activities for t in a] == [t.activities for t in b]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("max_100", scale=-1)
+
+    def test_min_datasets_have_short_traces(self):
+        min_log = profile_log(load_dataset("min_10000", scale=0.02))
+        max_log = profile_log(load_dataset("max_10000", scale=0.02))
+        assert min_log.events_per_trace.mean < max_log.events_per_trace.mean
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale(0.5) == 0.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+        assert bench_scale(0.5) == 0.25
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()

@@ -1,0 +1,166 @@
+"""Random and process-model log generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.logs.generator import (
+    RandomLogConfig,
+    activity_alphabet,
+    generate_random_log,
+    random_patterns,
+)
+from repro.logs.process_generator import (
+    Activity,
+    And,
+    Loop,
+    ProcessModel,
+    Sequence,
+    Xor,
+    generate_process_log,
+    random_process_model,
+    simulate,
+)
+
+
+class TestRandomLog:
+    def test_deterministic(self):
+        config = RandomLogConfig(20, 15, 5, seed=9)
+        a, b = generate_random_log(config), generate_random_log(config)
+        assert [t.activities for t in a] == [t.activities for t in b]
+
+    def test_respects_bounds(self):
+        config = RandomLogConfig(
+            num_traces=30,
+            max_events_per_trace=12,
+            min_events_per_trace=4,
+            num_activities=6,
+            seed=1,
+        )
+        log = generate_random_log(config)
+        assert len(log) == 30
+        assert all(4 <= len(trace) <= 12 for trace in log)
+        assert len(log.activities()) <= 6
+
+    def test_timestamp_gaps(self):
+        config = RandomLogConfig(5, 10, 3, timestamp_gap_max=10, seed=2)
+        log = generate_random_log(config)
+        for trace in log:
+            gaps = [
+                b - a for a, b in zip(trace.timestamps, trace.timestamps[1:])
+            ]
+            assert all(1 <= gap <= 10 for gap in gaps)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            RandomLogConfig(-1, 5, 3)
+        with pytest.raises(ValueError):
+            RandomLogConfig(1, 5, 0)
+        with pytest.raises(ValueError):
+            RandomLogConfig(1, 2, 3, min_events_per_trace=5)
+        with pytest.raises(ValueError):
+            RandomLogConfig(1, 2, 3, timestamp_gap_max=0)
+
+    def test_alphabet_names_sortable(self):
+        names = activity_alphabet(120)
+        assert names == sorted(names)
+        assert len(set(names)) == 120
+
+
+class TestRandomPatterns:
+    def test_existing_patterns_are_subsequences(self):
+        log = generate_random_log(RandomLogConfig(10, 20, 4, seed=3))
+        for pattern in random_patterns(log, 3, 20, seed=4):
+            assert len(pattern) == 3
+            assert any(
+                _is_subsequence(pattern, trace.activities) for trace in log
+            )
+
+    def test_nonexisting_mode_uses_alphabet(self):
+        log = generate_random_log(RandomLogConfig(5, 10, 4, seed=3))
+        patterns = random_patterns(log, 5, 10, seed=1, existing=False)
+        alphabet = log.activities()
+        assert all(set(p) <= alphabet for p in patterns)
+
+    def test_empty_log_rejected(self):
+        from repro.core.model import EventLog
+
+        with pytest.raises(ValueError):
+            random_patterns(EventLog(), 2, 1)
+
+
+def _is_subsequence(pattern, activities):
+    it = iter(activities)
+    return all(any(a == p for a in it) for p in pattern)
+
+
+class TestBlocks:
+    def test_sequence_plays_in_order(self):
+        block = Sequence((Activity("a"), Activity("b")))
+        assert block.play(random.Random(0)) == ["a", "b"]
+
+    def test_xor_picks_one_child(self):
+        block = Xor((Activity("a"), Activity("b")))
+        rng = random.Random(0)
+        seen = {tuple(block.play(rng)) for _ in range(50)}
+        assert seen == {("a",), ("b",)}
+
+    def test_and_interleaves_all_children(self):
+        block = And((Sequence((Activity("a1"), Activity("a2"))), Activity("b")))
+        rng = random.Random(1)
+        for _ in range(30):
+            run = block.play(rng)
+            assert sorted(run) == ["a1", "a2", "b"]
+            assert run.index("a1") < run.index("a2")  # branch order kept
+
+    def test_loop_bounded(self):
+        block = Loop(Activity("x"), repeat_probability=1.0, max_iterations=3)
+        run = block.play(random.Random(0))
+        assert run == ["x", "x", "x"]
+
+    def test_alphabet_collection(self):
+        block = Sequence((Activity("a"), Xor((Activity("b"), Activity("c")))))
+        assert sorted(block.alphabet()) == ["a", "b", "c"]
+
+
+class TestProcessModel:
+    def test_model_uses_exact_alphabet(self):
+        model = random_process_model(25, seed=4)
+        assert len(model.activities) == 25
+        assert sorted(set(model.root.alphabet())) == sorted(model.activities)
+
+    def test_simulation_within_alphabet(self):
+        model = random_process_model(12, seed=5)
+        log = simulate(model, 40, seed=6)
+        assert log.activities() <= set(model.activities)
+        assert len(log) == 40
+
+    def test_deterministic(self):
+        a = generate_process_log(15, 10, seed=7)
+        b = generate_process_log(15, 10, seed=7)
+        assert [t.activities for t in a] == [t.activities for t in b]
+
+    def test_strictly_increasing_timestamps(self):
+        log = generate_process_log(10, 8, seed=8)
+        for trace in log:
+            assert all(
+                b > a for a, b in zip(trace.timestamps, trace.timestamps[1:])
+            )
+
+    def test_invalid_activity_count(self):
+        with pytest.raises(ValueError):
+            random_process_model(0)
+
+    def test_start_end_sandwich(self):
+        model = random_process_model(10, seed=9)
+        rng = random.Random(0)
+        for _ in range(10):
+            run = model.play(rng)
+            assert run[0] == model.activities[0]
+            assert run[-1] == model.activities[-1]
+
+    def test_process_model_dataclass(self):
+        model = ProcessModel(root=Sequence((Activity("x"), Activity("y"))))
+        assert model.activities == ["x", "y"]

@@ -1,0 +1,117 @@
+"""Event / Trace / EventLog model tests (Definition 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import TraceOrderError
+from repro.core.model import Event, EventLog, Trace
+
+
+class TestEvent:
+    def test_equality_and_hash(self):
+        a = Event("t", "A", 1)
+        b = Event("t", "A", 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != Event("t", "B", 1)
+
+    def test_attributes_copied(self):
+        attrs = {"k": "v"}
+        event = Event("t", "A", 1, attrs)
+        attrs["k"] = "changed"
+        assert event.attributes == {"k": "v"}
+
+    def test_repr(self):
+        assert "A" in repr(Event("t", "A", 1))
+
+
+class TestTrace:
+    def test_sorts_by_timestamp(self):
+        trace = Trace("t", [Event("t", "B", 2), Event("t", "A", 1)])
+        assert trace.activities == ["A", "B"]
+        assert trace.timestamps == [1, 2]
+
+    def test_position_timestamps_when_missing(self):
+        trace = Trace.from_activities("t", ["X", "Y", "Z"])
+        assert trace.timestamps == [0, 1, 2]
+
+    def test_mixed_missing_timestamps_rejected(self):
+        with pytest.raises(TraceOrderError):
+            Trace("t", [Event("t", "A", 1), Event("t", "B", None)])
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(TraceOrderError):
+            Trace("t", [Event("t", "A", 1), Event("t", "B", 1)])
+
+    def test_wrong_trace_id_rejected(self):
+        with pytest.raises(TraceOrderError):
+            Trace("t", [Event("other", "A", 1)])
+
+    def test_from_pairs(self):
+        trace = Trace.from_pairs("t", [("A", 1), ("B", 5)])
+        assert trace.pairs_view() == [("A", 1), ("B", 5)]
+
+    def test_iteration_and_indexing(self):
+        trace = Trace.from_pairs("t", [("A", 1), ("B", 2)])
+        assert len(trace) == 2
+        assert list(trace) == [Event("t", "A", 1), Event("t", "B", 2)]
+        assert trace[1] == Event("t", "B", 2)
+
+    def test_alphabet(self):
+        trace = Trace.from_activities("t", ["A", "B", "A"])
+        assert trace.alphabet() == {"A", "B"}
+
+    def test_empty_trace(self):
+        trace = Trace("t")
+        assert len(trace) == 0
+        assert trace.alphabet() == set()
+
+    def test_equality(self):
+        assert Trace.from_activities("t", "AB") == Trace.from_activities("t", "AB")
+        assert Trace.from_activities("t", "AB") != Trace.from_activities("u", "AB")
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=30, unique=True))
+    def test_any_unique_timestamps_accepted(self, stamps):
+        events = [Event("t", "A", ts) for ts in stamps]
+        trace = Trace("t", events)
+        assert trace.timestamps == sorted(stamps)
+
+
+class TestEventLog:
+    def test_from_events_groups_and_sorts(self):
+        events = [
+            Event("t2", "X", 1),
+            Event("t1", "B", 2),
+            Event("t1", "A", 1),
+        ]
+        log = EventLog.from_events(events)
+        assert len(log) == 2
+        assert log.trace("t1").activities == ["A", "B"]
+
+    def test_from_dict(self):
+        log = EventLog.from_dict({"t": ["A", "B"]})
+        assert log.trace("t").timestamps == [0, 1]
+
+    def test_duplicate_trace_rejected(self):
+        log = EventLog([Trace.from_activities("t", "A")])
+        with pytest.raises(ValueError):
+            log.add_trace(Trace.from_activities("t", "B"))
+        with pytest.raises(ValueError):
+            EventLog([Trace.from_activities("x", "A"), Trace.from_activities("x", "B")])
+
+    def test_aggregates(self):
+        log = EventLog.from_dict({"t1": "ABC", "t2": "AB"})
+        assert log.num_events == 5
+        assert log.activities() == {"A", "B", "C"}
+        assert sorted(log.trace_ids) == ["t1", "t2"]
+        assert "t1" in log and "t9" not in log
+
+    def test_events_iterator(self):
+        log = EventLog.from_dict({"t": "AB"})
+        assert [e.activity for e in log.events()] == ["A", "B"]
+
+    def test_repr(self):
+        log = EventLog.from_dict({"t": "AB"}, name="demo")
+        assert "demo" in repr(log)

@@ -1,0 +1,118 @@
+"""XES parser/writer tests."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.model import EventLog, Trace
+from repro.logs.xes import read_xes, write_xes
+
+SAMPLE = b"""<?xml version="1.0" encoding="UTF-8"?>
+<log xes.version="1.0">
+  <trace>
+    <string key="concept:name" value="case_1"/>
+    <event>
+      <string key="concept:name" value="register"/>
+      <date key="time:timestamp" value="2024-01-01T10:00:00+00:00"/>
+    </event>
+    <event>
+      <string key="concept:name" value="approve"/>
+      <date key="time:timestamp" value="2024-01-01T11:30:00+00:00"/>
+    </event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="case_2"/>
+    <event><string key="concept:name" value="register"/></event>
+    <event><string key="concept:name" value="reject"/></event>
+  </trace>
+</log>
+"""
+
+NAMESPACED = SAMPLE.replace(
+    b'<log xes.version="1.0">',
+    b'<log xes.version="1.0" xmlns="http://www.xes-standard.org/">',
+)
+
+
+class TestRead:
+    def test_parses_traces_and_events(self):
+        log = read_xes(io.BytesIO(SAMPLE))
+        assert sorted(log.trace_ids) == ["case_1", "case_2"]
+        case1 = log.trace("case_1")
+        assert case1.activities == ["register", "approve"]
+        assert case1.timestamps[1] - case1.timestamps[0] == pytest.approx(5400.0)
+
+    def test_missing_timestamps_fall_back_to_positions(self):
+        log = read_xes(io.BytesIO(SAMPLE))
+        assert log.trace("case_2").timestamps == [0, 1]
+
+    def test_namespaced_document(self):
+        log = read_xes(io.BytesIO(NAMESPACED))
+        assert sorted(log.trace_ids) == ["case_1", "case_2"]
+
+    def test_zulu_timestamps(self):
+        doc = SAMPLE.replace(b"+00:00", b"Z")
+        log = read_xes(io.BytesIO(doc))
+        assert log.trace("case_1").timestamps[0] > 0
+
+    def test_unnamed_trace_gets_synthetic_id(self):
+        doc = b"""<log><trace>
+            <event><string key="concept:name" value="x"/></event>
+        </trace></log>"""
+        log = read_xes(io.BytesIO(doc))
+        assert log.trace_ids == ["trace_1"]
+
+    def test_equal_timestamps_strictified(self):
+        doc = b"""<log><trace>
+          <string key="concept:name" value="c"/>
+          <event><string key="concept:name" value="a"/>
+                 <date key="time:timestamp" value="2024-01-01T10:00:00Z"/></event>
+          <event><string key="concept:name" value="b"/>
+                 <date key="time:timestamp" value="2024-01-01T10:00:00Z"/></event>
+        </trace></log>"""
+        log = read_xes(io.BytesIO(doc))
+        stamps = log.trace("c").timestamps
+        assert stamps[1] > stamps[0]
+
+    def test_events_without_activity_skipped(self):
+        doc = b"""<log><trace>
+          <string key="concept:name" value="c"/>
+          <event><date key="time:timestamp" value="2024-01-01T10:00:00Z"/></event>
+          <event><string key="concept:name" value="real"/></event>
+        </trace></log>"""
+        log = read_xes(io.BytesIO(doc))
+        assert log.trace("c").activities == ["real"]
+
+
+class TestRoundtrip:
+    def test_write_then_read(self):
+        original = EventLog(
+            [
+                Trace.from_pairs("alpha", [("a", 10.0), ("b", 20.5)]),
+                Trace.from_pairs("beta", [("c", 5.0)]),
+            ]
+        )
+        buffer = io.BytesIO()
+        write_xes(original, buffer)
+        buffer.seek(0)
+        restored = read_xes(buffer)
+        assert sorted(restored.trace_ids) == ["alpha", "beta"]
+        alpha = restored.trace("alpha")
+        assert alpha.activities == ["a", "b"]
+        assert alpha.timestamps == pytest.approx([10.0, 20.5])
+
+    def test_file_path_roundtrip(self, tmp_path):
+        path = str(tmp_path / "log.xes")
+        original = EventLog([Trace.from_pairs("t", [("x", 1.0)])])
+        write_xes(original, path)
+        restored = read_xes(path)
+        assert restored.trace("t").activities == ["x"]
+
+    def test_unicode_activities(self):
+        original = EventLog([Trace.from_pairs("t", [("approuvé ✓", 1.0)])])
+        buffer = io.BytesIO()
+        write_xes(original, buffer)
+        buffer.seek(0)
+        assert read_xes(buffer).trace("t").activities == ["approuvé ✓"]

@@ -1,0 +1,91 @@
+"""Command-line interface: every subcommand end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.model import EventLog, Trace
+from repro.logs.csv_log import write_csv_log
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    log = EventLog(
+        [
+            Trace.from_pairs("t1", [("A", 1.0), ("B", 2.0), ("C", 3.0)]),
+            Trace.from_pairs("t2", [("A", 1.0), ("C", 2.0)]),
+        ]
+    )
+    path = str(tmp_path / "log.csv")
+    write_csv_log(log, path)
+    return path
+
+
+@pytest.fixture
+def store_dir(tmp_path, log_file):
+    store = str(tmp_path / "ix")
+    assert main(["index", "--log", log_file, "--store", store]) == 0
+    return store
+
+
+class TestGenerate:
+    def test_csv_output(self, tmp_path, capsys):
+        out = str(tmp_path / "gen.csv")
+        code = main(
+            ["generate", "--dataset", "bpi_2013", "--scale", "0.01", "--out", out]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_xes_output(self, tmp_path):
+        out = str(tmp_path / "gen.xes")
+        assert main(
+            ["generate", "--dataset", "max_100", "--scale", "0.05", "--out", out]
+        ) == 0
+        from repro.logs.xes import read_xes
+
+        assert len(read_xes(out)) > 0
+
+
+class TestIndexAndQuery:
+    def test_index_reports_counts(self, log_file, tmp_path, capsys):
+        store = str(tmp_path / "ix")
+        assert main(["index", "--log", log_file, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 5 events" in out
+
+    def test_detect(self, store_dir, capsys):
+        assert main(["detect", "--store", store_dir, "A,C"]) == 0
+        out = capsys.readouterr().out
+        assert "2 completions" in out
+        assert "t1" in out and "t2" in out
+
+    def test_detect_with_within(self, store_dir, capsys):
+        assert main(["detect", "--store", store_dir, "A,C", "--within", "1.0"]) == 0
+        assert "1 completions" in capsys.readouterr().out
+
+    def test_detect_stam(self, store_dir, capsys):
+        assert main(["detect", "--store", store_dir, "A,C", "--stam"]) == 0
+        assert "2 completions" in capsys.readouterr().out
+
+    def test_stats(self, store_dir, capsys):
+        assert main(["stats", "--store", store_dir, "A,B,C"]) == 0
+        out = capsys.readouterr().out
+        assert "A -> B" in out and "upper bound" in out
+
+    def test_continue(self, store_dir, capsys):
+        assert main(["continue", "--store", store_dir, "A", "--mode", "accurate"]) == 0
+        out = capsys.readouterr().out
+        assert "score=" in out
+
+    def test_empty_pattern_rejected(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["detect", "--store", store_dir, ",,"])
+
+
+class TestProfile:
+    def test_profile_output(self, log_file, capsys):
+        assert main(["profile", "--log", log_file]) == 0
+        out = capsys.readouterr().out
+        assert "Traces" in out and "events/trace" in out
