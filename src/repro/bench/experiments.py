@@ -407,6 +407,61 @@ def exp_fig7(
     return result
 
 
+def exp_ablation_cache(
+    scale: float, dataset: str = "max_1000", reads: int = 2000
+) -> ExperimentResult:
+    """Ablation: serving-layer caches on/off (not a paper experiment).
+
+    Measures point-read latency through the LSM block cache and repeated
+    detect() latency through the engine's query-result cache, each with the
+    cache enabled vs disabled, on an indexed registry dataset.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.engine import SequenceIndex
+    from repro.kvstore import LSMStore
+
+    result = ExperimentResult(
+        "ablation_cache",
+        f"Serving-layer cache ablation ({dataset})",
+        ["configuration", "operation", "ops", "total time (s)", "us/op"],
+    )
+    log = prepared_dataset(dataset, scale)
+    for label, cache_bytes in (("block cache on", 8 * 1024 * 1024), ("block cache off", 0)):
+        workdir = tempfile.mkdtemp(prefix="repro-cache-ablation-")
+        try:
+            store = LSMStore(
+                workdir, memtable_flush_bytes=64 * 1024, block_cache_bytes=cache_bytes
+            )
+            index = SequenceIndex(store, query_cache_size=0)
+            index.update(log)
+            store.flush()
+            trace_ids = index.trace_ids()
+            probes = [trace_ids[i % len(trace_ids)] for i in range(reads)]
+            # Warm-up pass so "cache on" measures hits, not first-touch misses.
+            for trace_id in probes:
+                store.get("seq", trace_id)
+            elapsed, _ = timed(
+                lambda: [store.get("seq", trace_id) for trace_id in probes]
+            )
+            result.add(label, "point read", reads, elapsed, elapsed / reads * 1e6)
+            index.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    for label, cache_size in (("query cache on", 128), ("query cache off", 0)):
+        index = SequenceIndex(query_cache_size=cache_size)
+        index.update(log)
+        pattern = stnm_patterns(log, length=3, count=1)[0]
+        index.detect(pattern)  # warm-up / cache fill
+        repeats = max(1, reads // 40)
+        elapsed, _ = timed(lambda: [index.detect(pattern) for _ in range(repeats)])
+        result.add(label, "repeat detect", repeats, elapsed, elapsed / repeats * 1e6)
+        index.close()
+    result.note("block cache: LSM data blocks; query cache: SequenceIndex results")
+    return result
+
+
 #: every experiment, keyed by the name used on the runner command line
 ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "table4": exp_table4,
@@ -420,4 +475,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "fig5": exp_fig5,
     "fig6": exp_fig6,
     "fig7": exp_fig7,
+    "ablation_cache": exp_ablation_cache,
 }

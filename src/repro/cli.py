@@ -7,7 +7,7 @@ Examples::
     python -m repro detect --store ./ix A,B,C
     python -m repro stats  --store ./ix A,B,C
     python -m repro continue --store ./ix A,B --mode hybrid --top-k 5
-    python -m repro profile --log log.csv
+    python -m repro profile --log log.csv --store ./ix
 """
 
 from __future__ import annotations
@@ -41,9 +41,11 @@ def _open_index(args: argparse.Namespace) -> SequenceIndex:
     workers = getattr(args, "workers", None)
     if workers and workers > 1:
         executor = ParallelExecutor(backend="process", max_workers=workers)
-    return SequenceIndex(
-        LSMStore(args.store), policy=policy, method=method, executor=executor
+    store = LSMStore(
+        args.store,
+        background_compaction=getattr(args, "background_compaction", False),
     )
+    return SequenceIndex(store, policy=policy, method=method, executor=executor)
 
 
 def _pattern(raw: str) -> list[str]:
@@ -129,11 +131,42 @@ def cmd_continue(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    log = _read_log(args.log)
-    profile = profile_log(log, name=args.log)
-    print(format_profile_table([profile]))
-    print(format_distributions([profile]))
+    if args.log is None and args.store is None:
+        raise SystemExit("profile requires --log and/or --store")
+    if args.log is not None:
+        log = _read_log(args.log)
+        profile = profile_log(log, name=args.log)
+        print(format_profile_table([profile]))
+        print(format_distributions([profile]))
+    if args.store is not None:
+        _profile_store(args.store)
     return 0
+
+
+def _profile_store(path: str) -> None:
+    """Report on-disk shape, integrity and serving counters of a store."""
+    with LSMStore(path) as store:
+        print(f"store {path}")
+        print(f"  tables: {', '.join(store.list_tables()) or '(none)'}")
+        print(f"  sstables: {store.sstable_count}")
+        try:
+            store.verify()
+            print("  integrity: ok (all data CRCs verified)")
+        except Exception as exc:
+            print(f"  integrity: FAILED ({exc})")
+        for name in store.list_tables():
+            try:
+                count = sum(1 for _ in store.scan(name))
+            except Exception:  # corrupt data: already reported above
+                print(f"    {name}: unreadable")
+                continue
+            print(f"    {name}: {count} keys")
+        metrics = store.metrics.snapshot()
+        interesting = {k: v for k, v in metrics.items() if v}
+        if interesting:
+            print("  session counters: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(interesting.items())
+            ))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--method", choices=sorted(_METHODS), default=None)
             p.add_argument("--workers", type=int, default=1)
             p.add_argument("--partition", default="", help="index partition name")
+            p.add_argument(
+                "--background-compaction",
+                action="store_true",
+                help="compact SSTables on a background thread while indexing",
+            )
 
     idx = sub.add_parser("index", help="index a log file into a store")
     idx.add_argument("--log", required=True, help=".csv or .xes log file")
@@ -185,8 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
     con.add_argument("--show", type=int, default=10)
     con.set_defaults(fn=cmd_continue)
 
-    pro = sub.add_parser("profile", help="dataset shape of a log file")
-    pro.add_argument("--log", required=True)
+    pro = sub.add_parser("profile", help="dataset shape of a log and/or a store")
+    pro.add_argument("--log", default=None, help=".csv or .xes log file")
+    pro.add_argument(
+        "--store", default=None, help="index store directory to inspect/verify"
+    )
     pro.set_defaults(fn=cmd_profile)
     return parser
 

@@ -17,7 +17,7 @@ omitting it uses an in-memory store (useful for exploration and tests).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.core.builder import IndexBuilder, UpdateStats
 from repro.core.continuation import ContinuationExplorer
@@ -27,13 +27,24 @@ from repro.core.policies import PairMethod, Policy
 from repro.core.query import QueryProcessor
 from repro.executor import ParallelExecutor
 from repro.kvstore import InMemoryStore
+from repro.kvstore.cache import LRUCache
 from repro.kvstore.api import KeyValueStore
 
 _MODES = ("accurate", "fast", "hybrid")
+_MISS = object()
 
 
 class SequenceIndex:
-    """Inverted event-pair index over an event log collection."""
+    """Inverted event-pair index over an event log collection.
+
+    Read queries (``detect``/``count``/``contains``/``statistics``/
+    ``continuations``) are memoized in a small LRU **query-result cache**.
+    Cache keys embed the index's *write generation* -- a counter bumped by
+    every :meth:`update` and :meth:`prune_trace` -- so a batch update
+    invalidates every stale entry by construction: post-update queries
+    simply never hash to a pre-update key, and the dead generation ages out
+    of the LRU.  Set ``query_cache_size=0`` to disable.
+    """
 
     def __init__(
         self,
@@ -41,12 +52,15 @@ class SequenceIndex:
         policy: Policy = Policy.STNM,
         method: PairMethod | None = None,
         executor: ParallelExecutor | None = None,
+        query_cache_size: int = 128,
     ) -> None:
         self.store = store if store is not None else InMemoryStore()
         self.builder = IndexBuilder(self.store, policy, method, executor)
         self.tables = self.builder.tables
         self.query = QueryProcessor(self.tables)
         self.explorer = ContinuationExplorer(self.tables, self.query)
+        self._query_cache = LRUCache(query_cache_size) if query_cache_size > 0 else None
+        self._generation = 0
 
     @property
     def policy(self) -> Policy:
@@ -56,12 +70,41 @@ class SequenceIndex:
     def method(self) -> PairMethod:
         return self.builder.method
 
+    @property
+    def write_generation(self) -> int:
+        """Monotonic counter of index mutations (query-cache epoch)."""
+        return self._generation
+
+    def query_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the query-result cache."""
+        return self._query_cache.stats() if self._query_cache is not None else {}
+
+    def _cached(self, key: tuple[Hashable, ...], compute: Callable[[], Any]) -> Any:
+        """Memoize ``compute()`` under the current write generation.
+
+        List results are stored as tuples and returned as fresh lists so a
+        caller mutating its result cannot poison later cache hits.
+        """
+        if self._query_cache is None:
+            return compute()
+        full_key = (self._generation,) + key
+        sentinel = _MISS
+        cached = self._query_cache.get(full_key, sentinel)
+        if cached is not sentinel:
+            return list(cached) if isinstance(cached, tuple) else cached
+        result = compute()
+        self._query_cache.put(
+            full_key, tuple(result) if isinstance(result, list) else result
+        )
+        return result
+
     # -- pre-processing -----------------------------------------------------------
 
     def update(
         self, new_events: EventLog | Iterable[Event], partition: str = ""
     ) -> UpdateStats:
         """Index a batch of new events (incremental, duplicate-free)."""
+        self._generation += 1
         return self.builder.update(new_events, partition)
 
     def prune_trace(self, trace_id: str) -> None:
@@ -70,6 +113,7 @@ class SequenceIndex:
         Queries over already-indexed pairs keep working; the trace simply
         can no longer receive incremental appends.
         """
+        self._generation += 1
         seq = self.tables.get_sequence(trace_id)
         alphabet = {activity for activity, _ in seq}
         self.tables.prune_trace(trace_id, alphabet)
@@ -98,7 +142,10 @@ class SequenceIndex:
         within: float | None = None,
     ) -> list[PatternMatch]:
         """All completions of ``pattern`` (Algorithm 2)."""
-        return self.query.detect(pattern, partition, policy, max_matches, within)
+        return self._cached(
+            ("detect", tuple(pattern), partition, policy, max_matches, within),
+            lambda: self.query.detect(pattern, partition, policy, max_matches, within),
+        )
 
     def count(
         self,
@@ -107,7 +154,10 @@ class SequenceIndex:
         within: float | None = None,
     ) -> int:
         """Number of completions of ``pattern``."""
-        return self.query.count(pattern, partition, within)
+        return self._cached(
+            ("count", tuple(pattern), partition, within),
+            lambda: self.query.count(pattern, partition, within),
+        )
 
     def detect_with_prefixes(
         self, pattern: Sequence[str], partition: str | None = ""
@@ -117,7 +167,10 @@ class SequenceIndex:
 
     def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
         """Ids of traces containing ``pattern``."""
-        return self.query.contains(pattern, partition)
+        return self._cached(
+            ("contains", tuple(pattern), partition),
+            lambda: self.query.contains(pattern, partition),
+        )
 
     def statistics(self, pattern: Sequence[str], all_pairs: bool = False) -> PatternStats:
         """Pairwise statistics of ``pattern`` (constant-time per pair).
@@ -125,7 +178,10 @@ class SequenceIndex:
         ``all_pairs=True`` also reads every non-adjacent pattern pair for a
         tighter completions bound (§3.2.1's accuracy/time trade-off).
         """
-        return self.query.statistics(pattern, all_pairs)
+        return self._cached(
+            ("statistics", tuple(pattern), all_pairs),
+            lambda: self.query.statistics(pattern, all_pairs),
+        )
 
     def continuations(
         self,
@@ -138,11 +194,17 @@ class SequenceIndex:
         """Ranked candidate next events (Algorithms 3-5, Equation 1)."""
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
-        if mode == "accurate":
-            return self.explorer.accurate(pattern, within, partition)
-        if mode == "fast":
-            return self.explorer.fast(pattern)
-        return self.explorer.hybrid(pattern, top_k, within, partition)
+
+        def compute() -> list[ContinuationProposal]:
+            if mode == "accurate":
+                return self.explorer.accurate(pattern, within, partition)
+            if mode == "fast":
+                return self.explorer.fast(pattern)
+            return self.explorer.hybrid(pattern, top_k, within, partition)
+
+        return self._cached(
+            ("continuations", tuple(pattern), mode, top_k, within, partition), compute
+        )
 
     def explore_at(
         self, pattern: Sequence[str], position: int, partition: str | None = ""

@@ -17,7 +17,9 @@ in :mod:`repro.core` runs unchanged on either.
 """
 
 from repro.kvstore.api import KeyValueStore, StoreClosedError, UnknownTableError
-from repro.kvstore.lsm import LSMStore
+from repro.kvstore.cache import BlockCache, LRUCache
+from repro.kvstore.locks import RWLock
+from repro.kvstore.lsm import LSMStore, StoreMetrics
 from repro.kvstore.memory import InMemoryStore
 from repro.kvstore.merge import (
     CounterMapMerge,
@@ -31,6 +33,10 @@ __all__ = [
     "KeyValueStore",
     "LSMStore",
     "InMemoryStore",
+    "StoreMetrics",
+    "LRUCache",
+    "BlockCache",
+    "RWLock",
     "MergeOperator",
     "ListAppendMerge",
     "CounterMapMerge",

@@ -105,6 +105,31 @@ class KeyValueStore:
         """Release resources; further operations raise :class:`StoreClosedError`."""
         raise NotImplementedError
 
+    # -- maintenance hooks ----------------------------------------------------
+    #
+    # Backends without background structure (e.g. the dict-backed store)
+    # inherit these defaults, keeping the two implementations API-identical
+    # so callers can tune compaction/caching without branching on type.
+
+    def compact(self) -> bool:
+        """Run one compaction round; return whether anything was compacted."""
+        return False
+
+    def compact_all(self) -> None:
+        """Force-merge all on-disk structure (no-op without one)."""
+
+    def verify(self) -> None:
+        """Scrub persisted data against checksums; raises on corruption."""
+
+    @property
+    def sstable_count(self) -> int:
+        """Number of on-disk sorted tables (0 for in-memory backends)."""
+        return 0
+
+    def cache_stats(self) -> dict[str, int]:
+        """Block-cache counters, empty when the backend has no cache."""
+        return {}
+
     # -- conveniences shared by both backends --------------------------------
 
     def __enter__(self) -> "KeyValueStore":

@@ -3,18 +3,42 @@
 Directory layout::
 
     <path>/MANIFEST            JSON: tables, SSTable list, flush watermark
-    <path>/wal.log             write-ahead log (truncated on flush)
+    <path>/wal.log             active write-ahead log
+    <path>/wal-<n>.log         frozen WAL segments awaiting a flush
     <path>/sst-<n>.sst         immutable sorted tables (oldest = lowest n
                                position in the manifest list)
 
 Write path: WAL append -> memtable; the memtable flushes to a new SSTable
-once it exceeds ``memtable_flush_bytes``, after which the manifest is
-atomically swapped and the WAL truncated.  Read path: memtable, then
-SSTables newest-to-oldest, combining merge deltas with the table's merge
-operator.  Size-tiered compaction keeps the SSTable count bounded.
+once it exceeds ``memtable_flush_bytes``.  Read path: active memtable, then
+the sealed (flushing) memtable, then SSTables newest-to-oldest, combining
+merge deltas with the table's merge operator.  Size-tiered compaction keeps
+the SSTable count bounded.
 
 Keys are namespaced by a 2-byte table id so one physical file set serves all
 logical tables, exactly as a Cassandra keyspace does.
+
+Concurrency model (thread-safe since the serving-layer rework):
+
+* A write-preferring :class:`~repro.kvstore.locks.RWLock` guards all
+  in-memory state; gets/scans share it, mutations are exclusive.  The write
+  side is held only for in-memory work -- never across flush or compaction
+  disk I/O.
+* **Flush handoff**: a flush seals the active memtable into an immutable
+  one and rotates the WAL (both O(1), under the write lock), builds the
+  SSTable from the sealed memtable with *no* lock held, then installs the
+  reader and manifest under the write lock again.  Readers consult the
+  sealed memtable in the meantime, so reads never block behind a flush.
+* **Compaction** (inline after a flush, or on a
+  :class:`~repro.kvstore.compaction.BackgroundCompactor` thread) merges a
+  snapshot of the run lock-free, CRC-verifies the candidate output, and
+  atomically swaps the SSTable set + manifest under the write lock.  A
+  corrupt candidate aborts the swap (``compaction_aborts`` metric) and
+  reads keep serving from the pre-compaction tables; a crash between
+  output and swap leaves an orphan file the manifest never references.
+* WAL rotation means flushes delete fully-persisted frozen segments
+  instead of truncating a shared file, so writes that raced past a seal
+  are never lost; replay applies every segment, filtered by the manifest's
+  flush watermark.
 """
 
 from __future__ import annotations
@@ -22,9 +46,10 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import re
 import struct
 import threading
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.kvstore.api import (
     KeyValueStore,
@@ -33,7 +58,8 @@ from repro.kvstore.api import (
     UnknownTableError,
     normalize_key,
 )
-from repro.kvstore.compaction import merge_records, plan_size_tiered
+from repro.kvstore.cache import BlockCache
+from repro.kvstore.compaction import BackgroundCompactor, merge_records, plan_size_tiered
 from repro.kvstore.encoding import (
     Key,
     KeyPart,
@@ -42,7 +68,13 @@ from repro.kvstore.encoding import (
     encode_key,
     encode_value,
 )
-from repro.kvstore.memtable import TOMBSTONE, Memtable
+from repro.kvstore.locks import RWLock
+from repro.kvstore.memtable import (
+    BASE_DELETE,
+    BASE_PUT,
+    TOMBSTONE,
+    Memtable,
+)
 from repro.kvstore.merge import MergeOperator, resolve_merge_operator
 from repro.kvstore.sstable import SSTableReader, SSTableWriter
 from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT, WriteAheadLog
@@ -50,17 +82,21 @@ from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT, WriteAheadLog
 _TABLE_PREFIX = struct.Struct(">H")
 MANIFEST_NAME = "MANIFEST"
 WAL_NAME = "wal.log"
+_WAL_SEGMENT_RE = re.compile(r"^wal-(\d+)\.log$")
 
 
 class StoreMetrics:
     """Operation counters exposed for tests, benchmarks and tuning.
 
-    Counting is monotonic over the store's lifetime (not persisted);
-    ``bloom_skips`` counts SSTables that a point read skipped thanks to a
-    negative bloom-filter probe.
+    Counting is monotonic over the store's lifetime (not persisted) and
+    thread-safe; ``bloom_skips`` counts SSTables that a point read skipped
+    thanks to a negative bloom-filter probe, ``block_cache_hits``/``misses``
+    mirror the shared SSTable block cache, and ``compaction_aborts`` counts
+    compactions whose candidate output failed the pre-swap integrity check
+    (reads then keep serving from the pre-compaction tables).
     """
 
-    __slots__ = (
+    _COUNTERS = (
         "puts",
         "merges",
         "deletes",
@@ -68,24 +104,29 @@ class StoreMetrics:
         "scans",
         "flushes",
         "compactions",
+        "compaction_aborts",
         "bloom_skips",
         "sstable_reads",
+        "block_cache_hits",
+        "block_cache_misses",
     )
 
+    __slots__ = _COUNTERS + ("_lock",)
+
     def __init__(self) -> None:
-        self.puts = 0
-        self.merges = 0
-        self.deletes = 0
-        self.gets = 0
-        self.scans = 0
-        self.flushes = 0
-        self.compactions = 0
-        self.bloom_skips = 0
-        self.sstable_reads = 0
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Atomically increment one counter."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def snapshot(self) -> dict[str, int]:
         """Current counter values as a plain dict."""
-        return {name: getattr(self, name) for name in self.__slots__}
+        with self._lock:
+            return {name: getattr(self, name) for name in self._COUNTERS}
 
 
 class LSMStore(KeyValueStore):
@@ -98,22 +139,38 @@ class LSMStore(KeyValueStore):
         sync_wal: bool = False,
         compaction_min_tables: int = 4,
         auto_compact: bool = True,
+        background_compaction: bool = False,
+        block_cache_bytes: int = 8 * 1024 * 1024,
     ) -> None:
         self._path = path
         self._memtable_flush_bytes = memtable_flush_bytes
+        self._sync_wal = sync_wal
         self._compaction_min_tables = compaction_min_tables
         self._auto_compact = auto_compact
-        self._lock = threading.RLock()
+        self._state_lock = RWLock()
+        self._flush_lock = threading.Lock()
+        self._compaction_lock = threading.Lock()
         self._closed = False
         os.makedirs(path, exist_ok=True)
 
         self.metrics = StoreMetrics()
+        self._block_cache = (
+            BlockCache(block_cache_bytes, metrics=self.metrics)
+            if block_cache_bytes > 0
+            else None
+        )
+        #: test seam: called with the merged SSTable path after the output is
+        #: sealed but before the manifest swap (fault injection of the
+        #: compaction protocol's vulnerable window).
+        self.compaction_pre_swap_hook: Callable[[str], None] | None = None
         self._tables: dict[str, int] = {}
         self._merge_ops: dict[int, MergeOperator | None] = {}
         self._merge_op_names: dict[str, str | None] = {}
         self._sstables: list[SSTableReader] = []  # oldest -> newest
+        self._immutable: Memtable | None = None  # sealed, being flushed
         self._next_table_id = 1
         self._next_sst_id = 1
+        self._next_wal_id = 1
         self._last_flushed_seq = 0
         self._next_seq = 1
 
@@ -121,6 +178,7 @@ class LSMStore(KeyValueStore):
         self._memtable = Memtable()
         self._replay_wal()
         self._wal = WriteAheadLog(os.path.join(path, WAL_NAME), sync=sync_wal)
+        self._compactor = BackgroundCompactor(self) if background_compaction else None
 
     # -- manifest and recovery -------------------------------------------------
 
@@ -146,7 +204,11 @@ class LSMStore(KeyValueStore):
                 resolve_merge_operator(op_name) if op_name else None
             )
         for filename in manifest["sstables"]:
-            self._sstables.append(SSTableReader(os.path.join(self._path, filename)))
+            self._sstables.append(
+                SSTableReader(
+                    os.path.join(self._path, filename), cache=self._block_cache
+                )
+            )
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -167,20 +229,40 @@ class LSMStore(KeyValueStore):
             os.fsync(fh.fileno())
         os.replace(tmp, self._manifest_path())
 
+    def _wal_segments(self) -> list[tuple[int, str]]:
+        """Frozen WAL segments as ``(id, path)``, oldest first."""
+        segments = []
+        for name in os.listdir(self._path):
+            match = _WAL_SEGMENT_RE.match(name)
+            if match:
+                segments.append((int(match.group(1)), os.path.join(self._path, name)))
+        segments.sort()
+        return segments
+
     def _replay_wal(self) -> None:
-        wal_path = os.path.join(self._path, WAL_NAME)
         max_seq = self._last_flushed_seq
-        for record in WriteAheadLog.replay(wal_path):
+        records = []
+        for segment_id, segment_path in self._wal_segments():
+            self._next_wal_id = max(self._next_wal_id, segment_id + 1)
+            records.extend(WriteAheadLog.replay(segment_path))
+        records.extend(WriteAheadLog.replay(os.path.join(self._path, WAL_NAME)))
+        records.sort(key=lambda record: record.seqno)
+        for record in records:
             if record.seqno > self._last_flushed_seq:
                 self._memtable.apply(record.kind, record.key, record.value)
             max_seq = max(max_seq, record.seqno)
         self._next_seq = max_seq + 1
 
+    def _remove_wal_segments(self, upto_id: int) -> None:
+        for segment_id, segment_path in self._wal_segments():
+            if segment_id <= upto_id:
+                os.remove(segment_path)
+
     # -- table management -------------------------------------------------------
 
     def create_table(self, name: str, merge_operator: str | None = None) -> None:
-        self._check_open()
-        with self._lock:
+        with self._state_lock.write():
+            self._check_open()
             if name in self._tables:
                 if self._merge_op_names.get(name) != merge_operator:
                     raise ValueError(
@@ -198,8 +280,14 @@ class LSMStore(KeyValueStore):
             self._write_manifest()
 
     def has_table(self, name: str) -> bool:
-        self._check_open()
-        return name in self._tables
+        with self._state_lock.read():
+            self._check_open()
+            return name in self._tables
+
+    def list_tables(self) -> list[str]:
+        with self._state_lock.read():
+            self._check_open()
+            return sorted(self._tables)
 
     def _table_id(self, name: str) -> int:
         try:
@@ -216,52 +304,72 @@ class LSMStore(KeyValueStore):
 
     # -- write path ---------------------------------------------------------------
 
-    def _log_and_apply(self, kind: int, full_key: bytes, value: bytes) -> None:
-        with self._lock:
+    def _log_and_apply(self, kind: int, table: str, key: KeyPart | Key, value: bytes) -> None:
+        with self._state_lock.write():
             self._check_open()
+            full_key = self._full_key(table, key)
+            if kind == KIND_MERGE and self._operator_for_full_key(full_key) is None:
+                raise MergeUnsupportedError(f"table {table!r} has no merge operator")
             seqno = self._next_seq
             self._next_seq += 1
             self._wal.append(seqno, kind, full_key, value)
             self._memtable.apply(kind, full_key, value)
-            if self._memtable.approximate_bytes >= self._memtable_flush_bytes:
-                self._flush_locked()
+            need_flush = (
+                self._memtable.approximate_bytes >= self._memtable_flush_bytes
+            )
+        if need_flush:
+            self._flush_if_over_threshold()
 
     def put(self, table: str, key: KeyPart | Key, value: Any) -> None:
-        self.metrics.puts += 1
-        self._log_and_apply(KIND_PUT, self._full_key(table, key), encode_value(value))
+        self.metrics.bump("puts")
+        self._log_and_apply(KIND_PUT, table, key, encode_value(value))
 
     def merge(self, table: str, key: KeyPart | Key, delta: Any) -> None:
-        full_key = self._full_key(table, key)
-        if self._operator_for_full_key(full_key) is None:
-            raise MergeUnsupportedError(f"table {table!r} has no merge operator")
-        self.metrics.merges += 1
-        self._log_and_apply(KIND_MERGE, full_key, encode_value(delta))
+        self.metrics.bump("merges")
+        self._log_and_apply(KIND_MERGE, table, key, encode_value(delta))
 
     def delete(self, table: str, key: KeyPart | Key) -> None:
-        self.metrics.deletes += 1
-        self._log_and_apply(KIND_DELETE, self._full_key(table, key), b"")
+        self.metrics.bump("deletes")
+        self._log_and_apply(KIND_DELETE, table, key, b"")
 
     # -- read path -----------------------------------------------------------------
 
     def get(self, table: str, key: KeyPart | Key, default: Any = None) -> Any:
-        with self._lock:
+        with self._state_lock.read():
             self._check_open()
-            self.metrics.gets += 1
+            self.metrics.bump("gets")
             full_key = self._full_key(table, key)
             operator = self._operator_for_full_key(full_key)
-            resolved, value = self._memtable.resolve(full_key, operator)
-            if resolved:
-                return default if value is TOMBSTONE else value
-            pending: list[Any] = []
-            entry = self._memtable.lookup(full_key)
-            if entry is not None:
+            pending: list[Any] = []  # merge deltas, newest first
+            for memtable in (self._memtable, self._immutable):
+                if memtable is None:
+                    continue
+                entry = memtable.lookup(full_key)
+                if entry is None:
+                    continue
                 pending.extend(decode_value(d) for d in reversed(entry.deltas))
-            # pending is newest-first from here on.
+                if entry.base_kind == BASE_PUT:
+                    base = (
+                        decode_value(entry.base_value)
+                        if entry.base_value is not None
+                        else None
+                    )
+                    if not pending:
+                        return base
+                    return _require_op(operator).full_merge(
+                        base, list(reversed(pending))
+                    )
+                if entry.base_kind == BASE_DELETE:
+                    if not pending:
+                        return default
+                    return _require_op(operator).full_merge(
+                        None, list(reversed(pending))
+                    )
             for reader in reversed(self._sstables):
                 if not reader.may_contain(full_key):
-                    self.metrics.bloom_skips += 1
+                    self.metrics.bump("bloom_skips")
                     continue
-                self.metrics.sstable_reads += 1
+                self.metrics.bump("sstable_reads")
                 record = reader.get(full_key)
                 if record is None:
                     continue
@@ -280,19 +388,19 @@ class LSMStore(KeyValueStore):
     def scan(
         self, table: str, prefix: KeyPart | Key | None = None
     ) -> Iterator[tuple[Key, Any]]:
-        # Materialize under the lock: scans are used for bounded key ranges
-        # (per-table or per-prefix), and a snapshot keeps iteration safe
-        # against concurrent flushes/compactions.
-        with self._lock:
+        # Materialize under the read lock: scans are used for bounded key
+        # ranges (per-table or per-prefix), and a snapshot keeps iteration
+        # safe against concurrent flushes/compactions.
+        with self._state_lock.read():
             self._check_open()
-            self.metrics.scans += 1
+            self.metrics.bump("scans")
             table_id = self._table_id(table)
             low = _TABLE_PREFIX.pack(table_id)
             if prefix is not None:
                 low += encode_key(normalize_key(prefix))
             high = _prefix_successor(low)
             operator = self._merge_ops.get(table_id)
-            results = list(self._scan_locked(low, high, operator))
+            results = list(self._scan_snapshot(low, high, operator))
         return iter(results)
 
     def scan_range(
@@ -301,9 +409,9 @@ class LSMStore(KeyValueStore):
         start: KeyPart | Key | None = None,
         stop: KeyPart | Key | None = None,
     ) -> Iterator[tuple[Key, Any]]:
-        with self._lock:
+        with self._state_lock.read():
             self._check_open()
-            self.metrics.scans += 1
+            self.metrics.bump("scans")
             table_id = self._table_id(table)
             table_prefix = _TABLE_PREFIX.pack(table_id)
             low = table_prefix
@@ -314,19 +422,23 @@ class LSMStore(KeyValueStore):
             else:
                 high = _prefix_successor(table_prefix)
             operator = self._merge_ops.get(table_id)
-            results = list(self._scan_locked(low, high, operator))
+            results = list(self._scan_snapshot(low, high, operator))
         return iter(results)
 
-    def _scan_locked(
+    def _scan_snapshot(
         self, low: bytes, high: bytes | None, operator: MergeOperator | None
     ) -> Iterator[tuple[Key, Any]]:
+        """Merge-scan all sources; caller holds (at least) the read lock."""
         sources: list[Iterator[tuple[bytes, int, bytes]]] = []
-        mem_records = [
-            (key, entry)
-            for key, entry in self._memtable.iter_sorted()
-            if key >= low
-        ]
-        sources.append(_memtable_source(mem_records))
+        for memtable in (self._memtable, self._immutable):
+            if memtable is None:
+                continue
+            mem_records = [
+                (key, entry)
+                for key, entry in memtable.iter_sorted()
+                if key >= low
+            ]
+            sources.append(_memtable_source(mem_records))
         for reader in reversed(self._sstables):
             sources.append(reader.iter_from_key(low))
         heap: list[tuple[bytes, int, int, bytes, Iterator[tuple[bytes, int, bytes]]]] = []
@@ -354,20 +466,68 @@ class LSMStore(KeyValueStore):
     # -- flush & compaction -----------------------------------------------------------
 
     def flush(self) -> None:
-        with self._lock:
-            self._check_open()
-            self._flush_locked()
+        """Persist the memtable; synchronous, but reads proceed throughout."""
+        flushed = False
+        with self._flush_lock:
+            with self._state_lock.write():
+                self._check_open()
+                handoff = self._seal_memtable_locked()
+            if handoff is not None:
+                self._flush_sealed(*handoff)
+                flushed = True
+        if flushed:
+            self._after_flush()
 
-    def _flush_locked(self) -> None:
+    def _flush_if_over_threshold(self) -> None:
+        """Auto-flush entry point; re-checks the threshold under the lock."""
+        flushed = False
+        with self._flush_lock:
+            with self._state_lock.write():
+                if (
+                    self._closed
+                    or self._memtable.approximate_bytes < self._memtable_flush_bytes
+                ):
+                    handoff = None
+                else:
+                    handoff = self._seal_memtable_locked()
+            if handoff is not None:
+                self._flush_sealed(*handoff)
+                flushed = True
+        if flushed:
+            self._after_flush()
+
+    def _seal_memtable_locked(self) -> tuple[Memtable, int, int] | None:
+        """Swap in a fresh memtable + WAL; caller holds write and flush locks.
+
+        Returns ``(sealed_memtable, frozen_wal_id, flushed_upto_seq)`` or
+        ``None`` when there is nothing to flush.  The single-immutable
+        invariant holds because ``_flush_lock`` spans seal -> install.
+        """
         if len(self._memtable) == 0:
-            return
-        filename = f"sst-{self._next_sst_id:06d}.sst"
-        self._next_sst_id += 1
+            return None
+        sealed = self._memtable
+        sealed.seal()
+        upto = self._next_seq - 1
+        frozen_id = self._next_wal_id
+        self._next_wal_id += 1
+        self._wal.close()
+        active = os.path.join(self._path, WAL_NAME)
+        os.replace(active, os.path.join(self._path, f"wal-{frozen_id:06d}.log"))
+        self._wal = WriteAheadLog(active, sync=self._sync_wal)
+        self._immutable = sealed
+        self._memtable = Memtable()
+        return sealed, frozen_id, upto
+
+    def _flush_sealed(self, sealed: Memtable, frozen_id: int, upto: int) -> None:
+        """Build the SSTable lock-free, then install it atomically."""
+        with self._state_lock.write():
+            filename = f"sst-{self._next_sst_id:06d}.sst"
+            self._next_sst_id += 1
         writer = SSTableWriter(
-            os.path.join(self._path, filename), expected_records=len(self._memtable)
+            os.path.join(self._path, filename), expected_records=len(sealed)
         )
         try:
-            for key, entry in self._memtable.iter_sorted():
+            for key, entry in sealed.iter_sorted():
                 record = _flush_entry(entry, self._operator_for_full_key(key))
                 if record is not None:
                     kind, value = record
@@ -375,45 +535,69 @@ class LSMStore(KeyValueStore):
         except BaseException:
             writer.abort()
             raise
-        reader = writer.finish()
-        self.metrics.flushes += 1
-        self._sstables.append(reader)
-        self._last_flushed_seq = self._next_seq - 1
-        self._write_manifest()
-        self._wal.truncate()
-        self._memtable.clear()
-        if self._auto_compact:
-            self._maybe_compact_locked()
+        reader = writer.finish(cache=self._block_cache)
+        with self._state_lock.write():
+            self._sstables.append(reader)
+            self._last_flushed_seq = upto
+            self._immutable = None
+            self._write_manifest()
+        self.metrics.bump("flushes")
+        # Every frozen segment up to ours holds only records <= upto.
+        self._remove_wal_segments(frozen_id)
+
+    def _after_flush(self) -> None:
+        if not self._auto_compact:
+            return
+        if self._compactor is not None:
+            self._compactor.trigger()
+        else:
+            self._compaction_round()
 
     def compact(self) -> bool:
         """Run one compaction round if a qualifying run exists."""
-        with self._lock:
-            self._check_open()
-            return self._maybe_compact_locked()
+        self._check_open()
+        return self._compaction_round()
 
     def compact_all(self) -> None:
         """Force-merge every SSTable into one (full major compaction)."""
-        with self._lock:
-            self._check_open()
-            self._flush_locked()
-            if len(self._sstables) > 1:
-                self._compact_range_locked(0, len(self._sstables))
+        self._check_open()
+        self.flush()
+        with self._compaction_lock:
+            with self._state_lock.read():
+                stop = len(self._sstables)
+            if stop > 1:
+                self._compact_slice(0, stop)
 
-    def _maybe_compact_locked(self) -> bool:
-        sizes = [reader.data_bytes for reader in self._sstables]
-        plan = plan_size_tiered(sizes, min_tables=self._compaction_min_tables)
-        if plan is None:
-            return False
-        self._compact_range_locked(plan.start, plan.stop)
-        return True
+    def _compaction_round(self) -> bool:
+        with self._compaction_lock:
+            with self._state_lock.read():
+                if self._closed:
+                    return False
+                sizes = [reader.data_bytes for reader in self._sstables]
+            plan = plan_size_tiered(sizes, min_tables=self._compaction_min_tables)
+            if plan is None:
+                return False
+            return self._compact_slice(plan.start, plan.stop)
 
-    def _compact_range_locked(self, start: int, stop: int) -> None:
-        run = self._sstables[start:stop]
+    def _compact_slice(self, start: int, stop: int) -> bool:
+        """Merge ``_sstables[start:stop]`` into one table; atomic swap.
+
+        Caller holds ``_compaction_lock``; concurrent flushes only *append*
+        to the SSTable list, so the slice indices stay valid throughout.
+        The merged candidate is CRC-verified before the swap: a corrupt
+        output (crash/fault between compaction write and manifest update)
+        is discarded and reads continue from the pre-compaction tables.
+        """
+        with self._state_lock.read():
+            run = list(self._sstables[start:stop])
         finalize = start == 0
-        filename = f"sst-{self._next_sst_id:06d}.sst"
-        self._next_sst_id += 1
-        expected = sum(r.record_count for r in run)
-        writer = SSTableWriter(os.path.join(self._path, filename), expected_records=expected)
+        with self._state_lock.write():
+            filename = f"sst-{self._next_sst_id:06d}.sst"
+            self._next_sst_id += 1
+        writer = SSTableWriter(
+            os.path.join(self._path, filename),
+            expected_records=sum(r.record_count for r in run),
+        )
         try:
             for kind, key, value in merge_records(
                 run, self._operator_for_full_key, finalize
@@ -422,30 +606,63 @@ class LSMStore(KeyValueStore):
         except BaseException:
             writer.abort()
             raise
-        merged = writer.finish()
-        self.metrics.compactions += 1
-        self._sstables[start:stop] = [merged]
-        self._write_manifest()
+        merged = writer.finish(cache=self._block_cache)
+        if self.compaction_pre_swap_hook is not None:
+            try:
+                self.compaction_pre_swap_hook(merged.path)
+            except BaseException:
+                # Simulated kill between output and swap: leave the orphan
+                # file on disk exactly as a real crash would.
+                merged.close()
+                raise
+        try:
+            merged.verify()
+        except Exception:
+            merged.close()
+            os.remove(merged.path)
+            self.metrics.bump("compaction_aborts")
+            return False
+        with self._state_lock.write():
+            if self._closed or self._sstables[start:stop] != run:
+                # Store closed (or set changed) under us: discard the output.
+                merged.close()
+                os.remove(merged.path)
+                self.metrics.bump("compaction_aborts")
+                return False
+            self._sstables[start:stop] = [merged]
+            self._write_manifest()
+        self.metrics.bump("compactions")
         for reader in run:
             reader.close()
             os.remove(reader.path)
+        return True
 
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
-        with self._lock:
+        with self._state_lock.write():
             if self._closed:
                 return
-            self._flush_locked()
-            self._wal.close()
-            for reader in self._sstables:
-                reader.close()
-            self._closed = True
+        compactor, self._compactor = self._compactor, None
+        if compactor is not None:
+            compactor.stop()
+        try:
+            self.flush()
+        except StoreClosedError:  # raced with another close()
+            return
+        with self._compaction_lock, self._flush_lock:
+            with self._state_lock.write():
+                if self._closed:
+                    return
+                self._closed = True
+                self._wal.close()
+                for reader in self._sstables:
+                    reader.close()
 
     @property
     def sstable_count(self) -> int:
         """Number of live SSTables (exposed for tests and introspection)."""
-        with self._lock:
+        with self._state_lock.read():
             return len(self._sstables)
 
     def verify(self) -> None:
@@ -453,12 +670,17 @@ class LSMStore(KeyValueStore):
 
         Raises :class:`~repro.kvstore.api.CorruptionError` on the first
         mismatch.  Metadata (index/bloom/footer) is already verified on
-        open; this pass covers the record payloads.
+        open; this pass covers the record payloads.  Holds the read lock,
+        so a concurrent compaction cannot retire tables mid-scrub.
         """
-        with self._lock:
+        with self._state_lock.read():
             self._check_open()
             for reader in self._sstables:
                 reader.verify()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Block-cache counters (empty dict when the cache is disabled)."""
+        return self._block_cache.stats() if self._block_cache is not None else {}
 
     def _check_open(self) -> None:
         if self._closed:
@@ -489,7 +711,7 @@ def _memtable_source(
     single record an SSTable flush would have produced, except that merges
     stay merges (resolution happens in ``_resolve_read``).
     """
-    from repro.kvstore.memtable import BASE_ABSENT, BASE_DELETE, BASE_PUT
+    from repro.kvstore.memtable import BASE_ABSENT
 
     for key, entry in records:
         if entry.base_kind == BASE_ABSENT:
@@ -552,7 +774,7 @@ def _resolve_read(
 
 def _flush_entry(entry: Any, operator: MergeOperator | None) -> tuple[int, bytes] | None:
     """Turn a memtable entry into the single SSTable record representing it."""
-    from repro.kvstore.memtable import BASE_ABSENT, BASE_DELETE, BASE_PUT
+    from repro.kvstore.memtable import BASE_ABSENT
 
     if entry.base_kind == BASE_PUT:
         base = decode_value(entry.base_value)

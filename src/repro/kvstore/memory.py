@@ -18,6 +18,7 @@ from repro.kvstore.api import (
     normalize_key,
 )
 from repro.kvstore.encoding import Key, KeyPart, encode_key
+from repro.kvstore.lsm import StoreMetrics
 from repro.kvstore.merge import MergeOperator, resolve_merge_operator
 
 
@@ -27,13 +28,30 @@ class InMemoryStore(KeyValueStore):
     Values are structurally copied on the way in and out, so callers cannot
     alias the store's internal state -- matching the serialize/deserialize
     boundary of the durable backend.
+
+    Accepts the same tuning knobs as :class:`~repro.kvstore.lsm.LSMStore`
+    (all no-ops here) so code can swap backends without branching; a single
+    re-entrant lock makes every operation atomic, which trivially satisfies
+    the LSM store's concurrency contract.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        memtable_flush_bytes: int = 0,
+        sync_wal: bool = False,
+        compaction_min_tables: int = 0,
+        auto_compact: bool = True,
+        background_compaction: bool = False,
+        block_cache_bytes: int = 0,
+    ) -> None:
+        del memtable_flush_bytes, sync_wal, compaction_min_tables
+        del auto_compact, background_compaction, block_cache_bytes
         self._tables: dict[str, dict[Key, Any]] = {}
         self._merge_ops: dict[str, MergeOperator | None] = {}
         self._lock = threading.RLock()
         self._closed = False
+        self.metrics = StoreMetrics()
 
     # -- table management -----------------------------------------------------
 
@@ -58,10 +76,16 @@ class InMemoryStore(KeyValueStore):
         self._check_open()
         return name in self._tables
 
+    def list_tables(self) -> list[str]:
+        self._check_open()
+        with self._lock:
+            return sorted(self._tables)
+
     # -- reads/writes ----------------------------------------------------------
 
     def put(self, table: str, key: KeyPart | Key, value: Any) -> None:
         data = self._table(table)
+        self.metrics.bump("puts")
         with self._lock:
             data[normalize_key(key)] = _copy_value(value)
 
@@ -70,6 +94,7 @@ class InMemoryStore(KeyValueStore):
         operator = self._merge_ops[table]
         if operator is None:
             raise MergeUnsupportedError(f"table {table!r} has no merge operator")
+        self.metrics.bump("merges")
         with self._lock:
             norm = normalize_key(key)
             base = data.get(norm)
@@ -81,6 +106,7 @@ class InMemoryStore(KeyValueStore):
 
     def get(self, table: str, key: KeyPart | Key, default: Any = None) -> Any:
         data = self._table(table)
+        self.metrics.bump("gets")
         with self._lock:
             value = data.get(normalize_key(key), _MISSING)
         if value is _MISSING:
@@ -89,6 +115,7 @@ class InMemoryStore(KeyValueStore):
 
     def delete(self, table: str, key: KeyPart | Key) -> None:
         data = self._table(table)
+        self.metrics.bump("deletes")
         with self._lock:
             data.pop(normalize_key(key), None)
 
@@ -96,6 +123,7 @@ class InMemoryStore(KeyValueStore):
         self, table: str, prefix: KeyPart | Key | None = None
     ) -> Iterator[tuple[Key, Any]]:
         data = self._table(table)
+        self.metrics.bump("scans")
         with self._lock:
             items = sorted(data.items(), key=lambda kv: encode_key(kv[0]))
         if prefix is not None:
@@ -115,6 +143,7 @@ class InMemoryStore(KeyValueStore):
         stop: KeyPart | Key | None = None,
     ) -> Iterator[tuple[Key, Any]]:
         data = self._table(table)
+        self.metrics.bump("scans")
         low = encode_key(normalize_key(start)) if start is not None else None
         high = encode_key(normalize_key(stop)) if stop is not None else None
         with self._lock:

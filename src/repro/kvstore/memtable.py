@@ -60,11 +60,18 @@ class MemEntry:
 
 
 class Memtable:
-    """Unsorted hash of :class:`MemEntry`; sorted only when flushed."""
+    """Unsorted hash of :class:`MemEntry`; sorted only when flushed.
+
+    A memtable can be *sealed* when it is handed off to a flush: a sealed
+    memtable rejects further writes, making it safe to read from other
+    threads (and to stream into an SSTable) without holding the store's
+    write lock.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[bytes, MemEntry] = {}
         self._approx_bytes = 0
+        self._sealed = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -74,8 +81,18 @@ class Memtable:
         """Rough payload footprint used to trigger flushes."""
         return self._approx_bytes
 
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> None:
+        """Freeze the memtable for immutable handoff to a flush."""
+        self._sealed = True
+
     def apply(self, kind: int, key: bytes, value: bytes) -> None:
         """Apply one operation (same kinds as the WAL)."""
+        if self._sealed:
+            raise ValueError("cannot write to a sealed memtable")
         entry = self._entries.get(key)
         if entry is None:
             entry = MemEntry()

@@ -23,10 +23,17 @@ recency is tracked by the manifest ordering instead.
 Record kinds reuse the WAL constants: ``PUT`` (full value), ``DELETE``
 (tombstone) and ``MERGE`` (a combined merge delta whose base lives in some
 older file).
+
+Readers are thread-safe: all data access goes through positioned reads
+(``os.pread``), so concurrent gets/scans never race on a shared file
+offset.  Data is read one *block* at a time -- the byte range between two
+consecutive sparse-index entries -- optionally through a shared
+:class:`~repro.kvstore.cache.BlockCache` of parsed records.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import struct
 import zlib
@@ -35,6 +42,7 @@ from typing import Iterable, Iterator
 
 from repro.kvstore.api import CorruptionError
 from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.cache import BlockCache
 
 MAGIC = b"RSST1\n"
 END_MAGIC = b"RSSTEND\n"
@@ -74,7 +82,7 @@ class SSTableWriter:
         self._file.write(record)
         self._count += 1
 
-    def finish(self) -> "SSTableReader":
+    def finish(self, cache: BlockCache | None = None) -> "SSTableReader":
         """Seal the file (atomically renamed into place) and open a reader."""
         index_off = self._file.tell()
         index_buf = bytearray()
@@ -95,7 +103,7 @@ class SSTableWriter:
         os.fsync(self._file.fileno())
         self._file.close()
         os.replace(self._tmp_path, self._path)
-        return SSTableReader(self._path)
+        return SSTableReader(self._path, cache=cache)
 
     def abort(self) -> None:
         """Discard a partially written table."""
@@ -105,11 +113,16 @@ class SSTableWriter:
 
 
 class SSTableReader:
-    """Random and sequential access over a sealed SSTable."""
+    """Random and sequential access over a sealed SSTable (thread-safe)."""
 
-    def __init__(self, path: str) -> None:
+    _uids = itertools.count(1)
+
+    def __init__(self, path: str, cache: BlockCache | None = None) -> None:
         self._path = path
         self._file = open(path, "rb")
+        self._fd = self._file.fileno()
+        self._cache = cache
+        self._uid = next(SSTableReader._uids)
         self._load_footer()
 
     def _load_footer(self) -> None:
@@ -163,14 +176,15 @@ class SSTableReader:
         covered at open); call this for explicit scrubbing, e.g. after
         restoring a backup.  Raises :class:`CorruptionError` on mismatch.
         """
-        self._file.seek(len(MAGIC))
-        remaining = self._data_end - len(MAGIC)
+        offset = len(MAGIC)
+        remaining = self._data_end - offset
         crc = 0
         while remaining > 0:
-            chunk = self._file.read(min(1 << 20, remaining))
+            chunk = os.pread(self._fd, min(1 << 20, remaining), offset)
             if not chunk:
                 raise CorruptionError(f"SSTable {self._path} data truncated")
             crc = zlib.crc32(chunk, crc)
+            offset += len(chunk)
             remaining -= len(chunk)
         if crc != self._data_crc:
             raise CorruptionError(f"SSTable {self._path} data CRC mismatch")
@@ -195,44 +209,85 @@ class SSTableReader:
         slot = bisect_right(self._index_keys, key) - 1
         if slot < 0:
             return None
-        for rec_key, kind, value in self._iter_from(self._index_offsets[slot], limit=INDEX_INTERVAL):
+        for rec_key, kind, value in self._load_block(slot):
             if rec_key == key:
                 return kind, value
             if rec_key > key:
                 return None
         return None
 
-    def _iter_from(self, offset: int, limit: int | None = None) -> Iterator[tuple[bytes, int, bytes]]:
-        self._file.seek(offset)
-        emitted = 0
-        while self._file.tell() < self._data_end:
-            if limit is not None and emitted >= limit:
-                return
-            head = self._file.read(4)
-            if len(head) < 4:
+    # -- block access ------------------------------------------------------
+
+    def _block_bounds(self, slot: int) -> tuple[int, int]:
+        start = self._index_offsets[slot]
+        if slot + 1 < len(self._index_offsets):
+            return start, self._index_offsets[slot + 1]
+        return start, self._data_end
+
+    def _load_block(
+        self, slot: int, fill_cache: bool = True
+    ) -> list[tuple[bytes, int, bytes]]:
+        """Read one sparse-index block as parsed records (cache read-through).
+
+        ``fill_cache=False`` (sequential scans, compaction) still profits
+        from already-cached blocks but does not insert, so one full-table
+        sweep cannot wash the working set out of the cache.
+        """
+        if self._cache is not None:
+            cached = self._cache.get((self._uid, slot))
+            if cached is not None:
+                return cached
+        start, end = self._block_bounds(slot)
+        buf = os.pread(self._fd, end - start, start)
+        if len(buf) != end - start:
+            raise CorruptionError(f"SSTable {self._path} data truncated")
+        records = self._parse_block(buf)
+        if self._cache is not None and fill_cache:
+            self._cache.put((self._uid, slot), records, weight=max(1, len(buf)))
+        return records
+
+    def _parse_block(self, buf: bytes) -> list[tuple[bytes, int, bytes]]:
+        records: list[tuple[bytes, int, bytes]] = []
+        pos = 0
+        total = len(buf)
+        while pos < total:
+            if pos + 4 > total:
                 raise CorruptionError(f"SSTable {self._path} truncated record header")
-            (klen,) = _U32.unpack(head)
-            key = self._file.read(klen)
-            kind = self._file.read(1)[0]
-            (vlen,) = _U32.unpack(self._file.read(4))
-            value = self._file.read(vlen)
-            yield key, kind, value
-            emitted += 1
+            (klen,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            if pos + klen + 5 > total:
+                raise CorruptionError(f"SSTable {self._path} truncated record")
+            key = buf[pos : pos + klen]
+            pos += klen
+            kind = buf[pos]
+            pos += 1
+            (vlen,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            if pos + vlen > total:
+                raise CorruptionError(f"SSTable {self._path} truncated record value")
+            value = buf[pos : pos + vlen]
+            pos += vlen
+            records.append((key, kind, value))
+        return records
 
     def __iter__(self) -> Iterator[tuple[bytes, int, bytes]]:
         """Yield all ``(key, kind, value)`` records in key order."""
-        return self._iter_from(len(MAGIC))
+        for slot in range(len(self._index_offsets)):
+            yield from self._load_block(slot, fill_cache=False)
 
     def iter_from_key(self, start: bytes) -> Iterator[tuple[bytes, int, bytes]]:
         """Yield records with ``key >= start`` in key order."""
         if not self._index_keys:
             return
-        slot = max(0, bisect_right(self._index_keys, start) - 1)
-        for key, kind, value in self._iter_from(self._index_offsets[slot]):
-            if key >= start:
-                yield key, kind, value
+        first = max(0, bisect_right(self._index_keys, start) - 1)
+        for slot in range(first, len(self._index_offsets)):
+            for key, kind, value in self._load_block(slot, fill_cache=False):
+                if key >= start:
+                    yield key, kind, value
 
     def close(self) -> None:
+        if self._cache is not None:
+            self._cache.evict_owner(self._uid)
         self._file.close()
 
 

@@ -94,7 +94,7 @@ class TestContinuationExperiments:
 
 class TestRegistryCompleteness:
     def test_every_paper_artifact_has_an_experiment(self):
-        assert set(ALL_EXPERIMENTS) == {
+        paper_artifacts = {
             "table4",
             "table5",
             "table6",
@@ -107,3 +107,7 @@ class TestRegistryCompleteness:
             "fig6",
             "fig7",
         }
+        assert paper_artifacts <= set(ALL_EXPERIMENTS)
+        # Beyond the paper: repo-specific ablations must stay registered
+        # so the runner exposes them.
+        assert set(ALL_EXPERIMENTS) - paper_artifacts == {"ablation_cache"}

@@ -1,0 +1,86 @@
+"""The query-result cache must be invisible except for speed.
+
+Property test: over random logs and patterns, a cached index answers every
+query identically to an uncached one -- including on the second (cache-hit)
+ask -- and a batch ``update()`` or ``prune_trace()`` invalidates stale
+entries via the write-generation epoch.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SequenceIndex
+from repro.core.model import Event, EventLog
+
+ALPHABET = "ABCD"
+
+LOGS = st.lists(
+    st.text(alphabet=ALPHABET, min_size=1, max_size=8), min_size=1, max_size=5
+).map(lambda traces: {f"t{i}": acts for i, acts in enumerate(traces)})
+PATTERNS = st.lists(st.sampled_from(ALPHABET), min_size=2, max_size=3)
+
+
+def _ask_everything(index: SequenceIndex, pattern: list[str]):
+    return (
+        index.detect(pattern),
+        index.count(pattern),
+        index.contains(pattern),
+        index.statistics(pattern),
+        index.continuations(pattern, top_k=3),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(log=LOGS, pattern=PATTERNS)
+def test_cached_equals_uncached(log, pattern):
+    cached = SequenceIndex()
+    uncached = SequenceIndex(query_cache_size=0)
+    event_log = EventLog.from_dict(log)
+    cached.update(event_log)
+    uncached.update(EventLog.from_dict(log))
+
+    cold = _ask_everything(cached, pattern)
+    reference = _ask_everything(uncached, pattern)
+    assert cold == reference
+    warm = _ask_everything(cached, pattern)  # second ask is served by cache
+    assert warm == reference
+    assert cached.query_cache_stats()["hits"] >= 5
+
+
+def test_update_invalidates_cache():
+    index = SequenceIndex()
+    index.update([Event("t1", "A", 1), Event("t1", "B", 2)])
+    assert index.count(["A", "B"]) == 1
+    assert index.count(["A", "B"]) == 1  # cache hit
+
+    generation = index.write_generation
+    # Incremental append to the same trace plus a brand-new trace.
+    index.update([Event("t1", "A", 3), Event("t1", "B", 4), Event("t2", "A", 5)])
+    assert index.write_generation > generation
+
+    # Stale entries must be unreachable: t1 = A,B,A,B now completes
+    # A..B twice under skip-till-next-match, not the cached pre-update 1.
+    assert index.count(["A", "B"]) == 2
+    assert sorted(index.contains(["A", "B"])) == ["t1"]
+    index.update([Event("t2", "B", 6)])
+    assert sorted(index.contains(["A", "B"])) == ["t1", "t2"]
+
+
+def test_prune_trace_invalidates_cache():
+    index = SequenceIndex()
+    index.update([Event("t1", "A", 1), Event("t1", "B", 2)])
+    index.detect(["A", "B"])  # populate the cache
+    generation = index.write_generation
+    index.prune_trace("t1")
+    assert index.write_generation > generation
+
+
+def test_cache_hits_do_not_alias_results():
+    index = SequenceIndex()
+    index.update([Event("t1", "A", 1), Event("t1", "B", 2)])
+    first = index.detect(["A", "B"])
+    first.clear()  # a caller mutating its result must not poison the cache
+    second = index.detect(["A", "B"])
+    assert len(second) == 1

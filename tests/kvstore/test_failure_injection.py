@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
@@ -130,4 +131,89 @@ class TestCorruptedFiles:
             fh.write(b"partial garbage")
         store = LSMStore(path)
         assert store.get("t", 0) is not None
+        store.close()
+
+
+def _multi_table_store(path, **kwargs) -> LSMStore:
+    """A store with several similarly-sized SSTables, ripe for compaction."""
+    store = LSMStore(path, auto_compact=False, compaction_min_tables=2, **kwargs)
+    store.create_table("t", merge_operator="list_append")
+    for batch in range(4):
+        for i in range(25):
+            store.merge("t", i % 5, [batch * 100 + i])
+        store.flush()
+    return store
+
+
+class TestCompactionFaults:
+    """Faults injected between compaction output and the manifest swap."""
+
+    def test_corrupt_compaction_output_aborts_swap(self, tmp_path):
+        store = _multi_table_store(str(tmp_path / "db"))
+        before_tables = store.sstable_count
+        before_values = {key: value for key, value in store.scan("t")}
+
+        def corrupt(path: str) -> None:
+            with open(path, "r+b") as fh:
+                fh.seek(12)  # inside the first data record
+                fh.write(b"\xde\xad\xbe\xef")
+
+        store.compaction_pre_swap_hook = corrupt
+        assert store.compact() is False  # verify() flags it, swap refused
+        store.compaction_pre_swap_hook = None
+
+        assert store.metrics.compaction_aborts == 1
+        assert store.metrics.compactions == 0
+        # Reads fall back to the intact pre-compaction tables.
+        assert store.sstable_count == before_tables
+        assert {key: value for key, value in store.scan("t")} == before_values
+        store.verify()
+        store.close()
+
+    def test_killed_compaction_recovers_on_reopen(self, tmp_path):
+        path = str(tmp_path / "db")
+        store = _multi_table_store(path)
+        before_values = {key: value for key, value in store.scan("t")}
+
+        class Killed(RuntimeError):
+            pass
+
+        def kill(sst_path: str) -> None:
+            with open(sst_path, "r+b") as fh:
+                fh.truncate(os.path.getsize(sst_path) // 2)
+            raise Killed
+
+        store.compaction_pre_swap_hook = kill
+        with pytest.raises(Killed):
+            store.compact()
+        store.close()
+
+        # The orphan half-written table is on disk but outside the manifest.
+        assert any(f.endswith(".sst") for f in os.listdir(path))
+        reopened = LSMStore(path)
+        assert {key: value for key, value in reopened.scan("t")} == before_values
+        reopened.verify()
+        reopened.close()
+
+    def test_background_compaction_survives_corrupt_output(self, tmp_path):
+        store = _multi_table_store(
+            str(tmp_path / "db2"), background_compaction=True
+        )
+        before_values = {key: value for key, value in store.scan("t")}
+
+        def corrupt(path: str) -> None:
+            with open(path, "r+b") as fh:
+                fh.seek(12)
+                fh.write(b"\xde\xad\xbe\xef")
+
+        store.compaction_pre_swap_hook = corrupt
+        store._compactor.trigger()
+        deadline = time.time() + 5.0
+        while store.metrics.compaction_aborts == 0 and time.time() < deadline:
+            time.sleep(0.01)
+        store.compaction_pre_swap_hook = None
+
+        assert store.metrics.compaction_aborts >= 1
+        assert {key: value for key, value in store.scan("t")} == before_values
+        store.verify()
         store.close()

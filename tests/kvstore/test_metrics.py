@@ -46,3 +46,48 @@ def test_compaction_counted(tmp_path):
             store.flush()
         store.compact_all()
         assert store.metrics.compactions == 1
+
+
+def test_block_cache_counters(tmp_path):
+    with LSMStore(str(tmp_path / "db"), auto_compact=False) as store:
+        store.create_table("t")
+        for i in range(50):
+            store.put("t", i, "v" * 20)
+        store.flush()
+        store.get("t", 7)  # cold: loads the block from disk
+        store.get("t", 7)  # warm: served from the block cache
+        snapshot = store.metrics.snapshot()
+    assert snapshot["block_cache_misses"] >= 1
+    assert snapshot["block_cache_hits"] >= 1
+    assert store.cache_stats()["hits"] >= 1
+
+
+def test_cache_disabled_reads_still_work(tmp_path):
+    with LSMStore(str(tmp_path / "db"), block_cache_bytes=0) as store:
+        store.create_table("t")
+        store.put("t", "k", 1)
+        store.flush()
+        assert store.get("t", "k") == 1
+        snapshot = store.metrics.snapshot()
+    assert snapshot["block_cache_hits"] == 0
+    assert snapshot["block_cache_misses"] == 0
+    assert store.cache_stats() == {}
+
+
+def test_metrics_bump_is_thread_safe():
+    import threading
+
+    from repro.kvstore import StoreMetrics
+
+    metrics = StoreMetrics()
+
+    def bump_many():
+        for _ in range(10_000):
+            metrics.bump("gets")
+
+    threads = [threading.Thread(target=bump_many) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert metrics.snapshot()["gets"] == 40_000

@@ -1,12 +1,17 @@
 """Property-based equivalence: LSM store == dict model == InMemoryStore.
 
 A stateful hypothesis test drives random operation sequences (puts, merges,
-deletes, flushes, compactions, reopen-from-disk) against the durable store
+deletes, flushes, compactions, compactions *killed* between writing their
+output and the manifest swap, reopen-from-disk) against the durable store
 and a plain dictionary model, checking full agreement after every step.
+The killed-compaction rule interleaving with reopen property-tests
+recovery-during-compaction: a half-written SSTable the manifest never
+references must be ignored and the pre-compaction tables stay authoritative.
 """
 
 from __future__ import annotations
 
+import os
 import tempfile
 
 from hypothesis import settings
@@ -87,6 +92,34 @@ class StoreModelMachine(RuleBasedStateMachine):
         self.lsm.compact()
 
     @rule()
+    def killed_compaction(self):
+        """Kill a major compaction after its output file, before the swap.
+
+        The truncated orphan SSTable is exactly what a crash in the
+        background worker's vulnerable window leaves behind; every later
+        rule (reads, scans, reopen) must be oblivious to it.
+        """
+
+        def kill(path: str) -> None:
+            with open(path, "r+b") as fh:
+                fh.truncate(os.path.getsize(path) // 2)
+            raise _KilledCompaction
+
+        self.lsm.flush()
+        self.lsm.compaction_pre_swap_hook = kill
+        try:
+            self.lsm.compact_all()
+        except _KilledCompaction:
+            pass
+        finally:
+            self.lsm.compaction_pre_swap_hook = None
+
+    @rule()
+    def verify_integrity(self):
+        # Live tables must always pass a scrub, orphans notwithstanding.
+        self.lsm.verify()
+
+    @rule()
     def reopen(self):
         self.lsm.close()
         self.lsm = LSMStore(
@@ -122,6 +155,10 @@ class StoreModelMachine(RuleBasedStateMachine):
         for store in (self.lsm, self.mem):
             assert {k: v for k, v in store.scan("plain")} == model_plain
             assert {k: v for k, v in store.scan("idx")} == model_idx
+
+
+class _KilledCompaction(RuntimeError):
+    """Raised by the fault-injection hook to simulate a mid-compaction kill."""
 
 
 def _norm(key):
