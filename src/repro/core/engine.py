@@ -82,8 +82,12 @@ class SequenceIndex:
     def _cached(self, key: tuple[Hashable, ...], compute: Callable[[], Any]) -> Any:
         """Memoize ``compute()`` under the current write generation.
 
-        List results are stored as tuples and returned as fresh lists so a
-        caller mutating its result cannot poison later cache hits.
+        List results are stored as tuples and returned as fresh lists, so a
+        caller reordering/extending its list cannot poison later cache hits.
+        The elements themselves (:class:`PatternMatch`, :class:`PatternStats`,
+        :class:`ContinuationProposal`, plain strings/ints) are shared between
+        the cache and every caller -- safe because they are all immutable
+        (frozen dataclasses with tuple fields).
         """
         if self._query_cache is None:
             return compute()
@@ -103,20 +107,33 @@ class SequenceIndex:
     def update(
         self, new_events: EventLog | Iterable[Event], partition: str = ""
     ) -> UpdateStats:
-        """Index a batch of new events (incremental, duplicate-free)."""
-        self._generation += 1
-        return self.builder.update(new_events, partition)
+        """Index a batch of new events (incremental, duplicate-free).
+
+        The write generation is bumped *after* the batch is applied (in a
+        ``finally``, so a partially applied failed update also invalidates):
+        a query racing the update caches its possibly-partial result under
+        the pre-update generation, which no post-update query ever reads.
+        Bumping before the update would let such a partial result be cached
+        under the new generation and served as a hit indefinitely.
+        """
+        try:
+            return self.builder.update(new_events, partition)
+        finally:
+            self._generation += 1
 
     def prune_trace(self, trace_id: str) -> None:
         """Forget a completed trace's update bookkeeping (§3.1.3).
 
         Queries over already-indexed pairs keep working; the trace simply
-        can no longer receive incremental appends.
+        can no longer receive incremental appends.  As in :meth:`update`,
+        the generation bump happens after the mutation.
         """
-        self._generation += 1
-        seq = self.tables.get_sequence(trace_id)
-        alphabet = {activity for activity, _ in seq}
-        self.tables.prune_trace(trace_id, alphabet)
+        try:
+            seq = self.tables.get_sequence(trace_id)
+            alphabet = {activity for activity, _ in seq}
+            self.tables.prune_trace(trace_id, alphabet)
+        finally:
+            self._generation += 1
 
     def flush(self) -> None:
         """Flush the underlying store (durable backends)."""

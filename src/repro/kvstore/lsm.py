@@ -28,6 +28,10 @@ Concurrency model (thread-safe since the serving-layer rework):
   SSTable from the sealed memtable with *no* lock held, then installs the
   reader and manifest under the write lock again.  Readers consult the
   sealed memtable in the meantime, so reads never block behind a flush.
+  If the SSTable build fails (e.g. ENOSPC), the sealed memtable is kept as
+  a *pending* handoff: it stays readable, its frozen WAL segment stays on
+  disk, and every later flush retries it before sealing anything new -- an
+  acknowledged write is never dropped by a failed flush.
 * **Compaction** (inline after a flush, or on a
   :class:`~repro.kvstore.compaction.BackgroundCompactor` thread) merges a
   snapshot of the run lock-free, CRC-verifies the candidate output, and
@@ -94,6 +98,11 @@ class StoreMetrics:
     mirror the shared SSTable block cache, and ``compaction_aborts`` counts
     compactions whose candidate output failed the pre-swap integrity check
     (reads then keep serving from the pre-compaction tables).
+
+    Counters are sharded per thread so :meth:`bump` never takes a lock --
+    concurrent readers do not serialize on a shared metrics mutex.
+    :meth:`snapshot` (and attribute reads like ``metrics.gets``) aggregate
+    the shards; a shard outlives its thread, so no counts are ever dropped.
     """
 
     _COUNTERS = (
@@ -111,22 +120,35 @@ class StoreMetrics:
         "block_cache_misses",
     )
 
-    __slots__ = _COUNTERS + ("_lock",)
-
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        for name in self._COUNTERS:
-            setattr(self, name, 0)
+        self._registry_lock = threading.Lock()  # guards _shards membership only
+        self._local = threading.local()
+        self._shards: list[dict[str, int]] = []
+
+    def _shard(self) -> dict[str, int]:
+        shard = getattr(self._local, "counters", None)
+        if shard is None:
+            shard = dict.fromkeys(self._COUNTERS, 0)
+            with self._registry_lock:
+                self._shards.append(shard)
+            self._local.counters = shard
+        return shard
 
     def bump(self, name: str, amount: int = 1) -> None:
-        """Atomically increment one counter."""
-        with self._lock:
-            setattr(self, name, getattr(self, name) + amount)
+        """Increment one counter (lock-free: writes this thread's shard)."""
+        self._shard()[name] += amount
 
     def snapshot(self) -> dict[str, int]:
-        """Current counter values as a plain dict."""
-        with self._lock:
-            return {name: getattr(self, name) for name in self._COUNTERS}
+        """Current counter values as a plain dict (sums all shards)."""
+        with self._registry_lock:
+            shards = list(self._shards)
+        return {name: sum(shard[name] for shard in shards) for name in self._COUNTERS}
+
+    def __getattr__(self, name: str) -> int:
+        # Keep `metrics.gets`-style reads working over the sharded layout.
+        if name in type(self)._COUNTERS:
+            return self.snapshot()[name]
+        raise AttributeError(name)
 
 
 class LSMStore(KeyValueStore):
@@ -168,6 +190,9 @@ class LSMStore(KeyValueStore):
         self._merge_op_names: dict[str, str | None] = {}
         self._sstables: list[SSTableReader] = []  # oldest -> newest
         self._immutable: Memtable | None = None  # sealed, being flushed
+        #: a sealed-but-unpersisted handoff left behind by a failed flush;
+        #: retried (under ``_flush_lock``) before any new memtable is sealed.
+        self._pending_flush: tuple[Memtable, int, int] | None = None
         self._next_table_id = 1
         self._next_sst_id = 1
         self._next_wal_id = 1
@@ -335,9 +360,9 @@ class LSMStore(KeyValueStore):
     # -- read path -----------------------------------------------------------------
 
     def get(self, table: str, key: KeyPart | Key, default: Any = None) -> Any:
+        self.metrics.bump("gets")
         with self._state_lock.read():
             self._check_open()
-            self.metrics.bump("gets")
             full_key = self._full_key(table, key)
             operator = self._operator_for_full_key(full_key)
             pending: list[Any] = []  # merge deltas, newest first
@@ -391,9 +416,9 @@ class LSMStore(KeyValueStore):
         # Materialize under the read lock: scans are used for bounded key
         # ranges (per-table or per-prefix), and a snapshot keeps iteration
         # safe against concurrent flushes/compactions.
+        self.metrics.bump("scans")
         with self._state_lock.read():
             self._check_open()
-            self.metrics.bump("scans")
             table_id = self._table_id(table)
             low = _TABLE_PREFIX.pack(table_id)
             if prefix is not None:
@@ -409,9 +434,9 @@ class LSMStore(KeyValueStore):
         start: KeyPart | Key | None = None,
         stop: KeyPart | Key | None = None,
     ) -> Iterator[tuple[Key, Any]]:
+        self.metrics.bump("scans")
         with self._state_lock.read():
             self._check_open()
-            self.metrics.bump("scans")
             table_id = self._table_id(table)
             table_prefix = _TABLE_PREFIX.pack(table_id)
             low = table_prefix
@@ -471,6 +496,8 @@ class LSMStore(KeyValueStore):
         with self._flush_lock:
             with self._state_lock.write():
                 self._check_open()
+            flushed = self._drain_pending_flush()
+            with self._state_lock.write():
                 handoff = self._seal_memtable_locked()
             if handoff is not None:
                 self._flush_sealed(*handoff)
@@ -483,28 +510,55 @@ class LSMStore(KeyValueStore):
         flushed = False
         with self._flush_lock:
             with self._state_lock.write():
-                if (
+                skip = (
                     self._closed
                     or self._memtable.approximate_bytes < self._memtable_flush_bytes
-                ):
-                    handoff = None
-                else:
+                )
+            if not skip:
+                # _closed cannot flip while we hold _flush_lock (close()
+                # acquires it before setting the flag), so the re-check
+                # above stays valid across the drain + seal below.
+                flushed = self._drain_pending_flush()
+                with self._state_lock.write():
                     handoff = self._seal_memtable_locked()
-            if handoff is not None:
-                self._flush_sealed(*handoff)
-                flushed = True
+                if handoff is not None:
+                    self._flush_sealed(*handoff)
+                    flushed = True
         if flushed:
             self._after_flush()
+
+    def _drain_pending_flush(self) -> bool:
+        """Retry a flush whose SSTable build failed; caller holds _flush_lock.
+
+        Until the retry succeeds the sealed memtable stays readable via
+        ``_immutable`` and its frozen WAL segment stays on disk, so a failed
+        flush never loses acknowledged writes: they remain visible to reads
+        and recoverable by WAL replay.  Returns ``True`` once the pending
+        memtable is persisted; re-raises if the rebuild fails again.
+        """
+        pending = self._pending_flush
+        if pending is None:
+            return False
+        self._flush_sealed(*pending)
+        return True
 
     def _seal_memtable_locked(self) -> tuple[Memtable, int, int] | None:
         """Swap in a fresh memtable + WAL; caller holds write and flush locks.
 
         Returns ``(sealed_memtable, frozen_wal_id, flushed_upto_seq)`` or
         ``None`` when there is nothing to flush.  The single-immutable
-        invariant holds because ``_flush_lock`` spans seal -> install.
+        invariant holds because ``_flush_lock`` spans seal -> install and
+        every flush path drains ``_pending_flush`` before sealing anew.
         """
         if len(self._memtable) == 0:
             return None
+        if self._immutable is not None or self._pending_flush is not None:
+            # A previously sealed memtable has not been persisted yet;
+            # overwriting it here would silently drop acknowledged writes
+            # (and a later flush would delete their WAL segment).
+            raise RuntimeError(
+                "unflushed sealed memtable pending; drain it before sealing"
+            )
         sealed = self._memtable
         sealed.seal()
         upto = self._next_seq - 1
@@ -516,7 +570,9 @@ class LSMStore(KeyValueStore):
         self._wal = WriteAheadLog(active, sync=self._sync_wal)
         self._immutable = sealed
         self._memtable = Memtable()
-        return sealed, frozen_id, upto
+        handoff = (sealed, frozen_id, upto)
+        self._pending_flush = handoff
+        return handoff
 
     def _flush_sealed(self, sealed: Memtable, frozen_id: int, upto: int) -> None:
         """Build the SSTable lock-free, then install it atomically."""
@@ -532,17 +588,20 @@ class LSMStore(KeyValueStore):
                 if record is not None:
                     kind, value = record
                     writer.add(key, kind, value)
+            reader = writer.finish(cache=self._block_cache)
         except BaseException:
             writer.abort()
             raise
-        reader = writer.finish(cache=self._block_cache)
         with self._state_lock.write():
             self._sstables.append(reader)
             self._last_flushed_seq = upto
             self._immutable = None
+            self._pending_flush = None
             self._write_manifest()
         self.metrics.bump("flushes")
-        # Every frozen segment up to ours holds only records <= upto.
+        # Every frozen segment up to ours holds only records <= upto; flushes
+        # complete in seal order (a pending handoff is drained before a new
+        # seal), so no segment is deleted before its memtable is persisted.
         self._remove_wal_segments(frozen_id)
 
     def _after_flush(self) -> None:
@@ -603,10 +662,10 @@ class LSMStore(KeyValueStore):
                 run, self._operator_for_full_key, finalize
             ):
                 writer.add(key, kind, value)
+            merged = writer.finish(cache=self._block_cache)
         except BaseException:
             writer.abort()
             raise
-        merged = writer.finish(cache=self._block_cache)
         if self.compaction_pre_swap_hook is not None:
             try:
                 self.compaction_pre_swap_hook(merged.path)

@@ -8,6 +8,7 @@ entries via the write-generation epoch.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -75,6 +76,39 @@ def test_prune_trace_invalidates_cache():
     generation = index.write_generation
     index.prune_trace("t1")
     assert index.write_generation > generation
+
+
+def test_generation_bumps_after_update_applies(monkeypatch):
+    # A query racing an in-flight update must cache under the PRE-update
+    # generation: the bump happens only once builder.update() has finished,
+    # so partial results can never be served as post-update hits.
+    index = SequenceIndex()
+    real_update = index.builder.update
+
+    def observing_update(*args, **kwargs):
+        assert index.write_generation == generation_before
+        return real_update(*args, **kwargs)
+
+    generation_before = index.write_generation
+    monkeypatch.setattr(index.builder, "update", observing_update)
+    index.update([Event("t1", "A", 1)])
+    assert index.write_generation == generation_before + 1
+
+
+def test_failed_update_still_invalidates(monkeypatch):
+    index = SequenceIndex()
+    index.update([Event("t1", "A", 1), Event("t1", "B", 2)])
+    assert index.count(["A", "B"]) == 1  # populate the cache
+    generation = index.write_generation
+
+    def exploding_update(*args, **kwargs):
+        raise RuntimeError("mid-batch failure")
+
+    monkeypatch.setattr(index.builder, "update", exploding_update)
+    with pytest.raises(RuntimeError):
+        index.update([Event("t1", "A", 3)])
+    # A partially applied batch must not leave pre-failure entries servable.
+    assert index.write_generation == generation + 1
 
 
 def test_cache_hits_do_not_alias_results():

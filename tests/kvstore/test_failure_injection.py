@@ -134,6 +134,78 @@ class TestCorruptedFiles:
         store.close()
 
 
+class TestFlushFaults:
+    """A failed SSTable build must never lose acknowledged writes."""
+
+    @staticmethod
+    def _fail_next_finish(monkeypatch, times: int = 1):
+        """Patch SSTableWriter.finish to raise OSError for ``times`` calls."""
+        from repro.kvstore import lsm as lsm_module
+
+        real_finish = lsm_module.SSTableWriter.finish
+        remaining = {"n": times}
+
+        def failing_finish(self, *args, **kwargs):
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                raise OSError(28, "simulated ENOSPC")
+            return real_finish(self, *args, **kwargs)
+
+        monkeypatch.setattr(lsm_module.SSTableWriter, "finish", failing_finish)
+
+    def test_failed_flush_keeps_data_readable_and_retries(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "db")
+        store = LSMStore(path, auto_compact=False)
+        store.create_table("t")
+        store.put("t", "a", 1)
+
+        self._fail_next_finish(monkeypatch)
+        with pytest.raises(OSError):
+            store.flush()
+
+        # The sealed memtable stays readable; new writes land normally.
+        assert store.get("t", "a") == 1
+        store.put("t", "b", 2)
+        assert store.get("t", "b") == 2
+
+        # The next flush retries the pending memtable, then the new one.
+        store.flush()
+        assert store.sstable_count == 2
+        assert store.get("t", "a") == 1
+        assert store.get("t", "b") == 2
+        store.close()
+
+        reopened = LSMStore(path)
+        assert reopened.get("t", "a") == 1
+        assert reopened.get("t", "b") == 2
+        reopened.close()
+
+    def test_crash_after_failed_flush_replays_wal(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "db")
+        store = LSMStore(path, auto_compact=False)
+        store.create_table("t")
+        store.put("t", "a", 1)
+
+        self._fail_next_finish(monkeypatch)
+        with pytest.raises(OSError):
+            store.flush()
+        store.put("t", "b", 2)  # lands in the post-seal WAL
+
+        # Crash without a successful flush: the frozen segment backing the
+        # sealed memtable must still be on disk for replay.
+        store._wal.close()
+        for reader in store._sstables:
+            reader.close()
+        monkeypatch.undo()
+
+        reopened = LSMStore(path)
+        assert reopened.get("t", "a") == 1
+        assert reopened.get("t", "b") == 2
+        reopened.close()
+
+
 def _multi_table_store(path, **kwargs) -> LSMStore:
     """A store with several similarly-sized SSTables, ripe for compaction."""
     store = LSMStore(path, auto_compact=False, compaction_min_tables=2, **kwargs)
