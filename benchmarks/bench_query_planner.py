@@ -1,0 +1,74 @@
+"""Ablation: selectivity-driven planner + batched multi_get read path.
+
+Smoke benchmarks for the query-planner rework (runner twin:
+``python -m repro.bench.runner ablation_planner``, which also writes the
+``BENCH_query_planner.json`` perf-trajectory snapshot):
+
+* the Table 8 STNM workload -- length-10 patterns containing at least one
+  rare pair -- on an LSM-backed index, under every combination of planner
+  on/off, batched ``multi_get`` vs loop-of-gets, postings cache on/off;
+* the all-off configuration is the naive left-to-right baseline the
+  planner must beat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE
+from repro.bench.workloads import prepared_dataset, rare_pair_patterns
+from repro.core.engine import SequenceIndex
+from repro.kvstore import LSMStore
+
+DATASET = "max_10000"
+PATTERN_LENGTH = 10
+PATTERNS = 10
+
+
+@pytest.fixture(scope="module")
+def planner_store(tmp_path_factory):
+    """One LSM store indexed once, shared by every configuration."""
+    workdir = tmp_path_factory.mktemp("planner-ablation")
+    store = LSMStore(str(workdir / "db"), memtable_flush_bytes=256 * 1024)
+    index = SequenceIndex(store, query_cache_size=0)
+    log = prepared_dataset(DATASET, SCALE)
+    index.update(log)
+    store.flush()
+    patterns = rare_pair_patterns(log, index, PATTERN_LENGTH, PATTERNS)
+    yield store, patterns
+    store.close()
+
+
+@pytest.mark.parametrize(
+    ("planner", "batched", "cache"),
+    [
+        (False, False, False),
+        (True, False, False),
+        (False, True, False),
+        (True, True, False),
+        (True, True, True),
+    ],
+    ids=[
+        "baseline-naive-loop",
+        "planner-only",
+        "multi-get-only",
+        "planner+multi-get",
+        "planner+multi-get+cache",
+    ],
+)
+def test_stnm_rare_pair_queries(benchmark, planner_store, planner, batched, cache):
+    store, patterns = planner_store
+    index = SequenceIndex(
+        store,
+        query_cache_size=0,
+        postings_cache_size=64 if cache else 0,
+        planner=planner,
+        batched_reads=batched,
+    )
+
+    def run_all():
+        for pattern in patterns:
+            index.detect(pattern)
+
+    run_all()  # warm-up: block cache and (where enabled) postings cache
+    benchmark.pedantic(run_all, rounds=3, iterations=1)

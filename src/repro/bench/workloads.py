@@ -73,6 +73,36 @@ def stnm_patterns(
     return patterns
 
 
+def rare_pair_patterns(
+    log: EventLog,
+    index: SequenceIndex,
+    length: int,
+    count: int,
+    seed: int = 0,
+    pool: int | None = None,
+) -> list[list[str]]:
+    """STNM patterns of ``length`` containing at least one *rare* pair.
+
+    Samples a pool of gapped-subsequence patterns (so every pattern has
+    matches) and keeps the ``count`` whose cheapest consecutive pair has
+    the lowest ``Count`` cardinality, preferring patterns whose rare pair
+    is *not* the first -- the workload where selectivity-driven join
+    reordering pays off most, since naive left-to-right evaluation drags
+    a large intermediate chain set up to the rare pair.
+    """
+    candidates = stnm_patterns(log, length, pool or max(count * 10, 50), seed)
+
+    def rank(pattern: list[str]) -> tuple[int, bool]:
+        pairs = list(zip(pattern, pattern[1:]))
+        cards = index.tables.get_pair_counts(pairs)
+        by_pair = [cards[pair][1] for pair in pairs]
+        rarest = min(range(len(by_pair)), key=lambda i: by_pair[i])
+        return (by_pair[rarest], rarest == 0)
+
+    candidates.sort(key=rank)
+    return candidates[:count]
+
+
 def contiguous_patterns(
     log: EventLog, length: int, count: int, seed: int = 0
 ) -> list[list[str]]:

@@ -81,13 +81,27 @@ def cmd_detect(args: argparse.Namespace) -> int:
     pattern = _pattern(args.pattern)
     with _open_index(args) as index:
         policy = Policy.STAM if args.stam else None
-        matches = index.detect(
-            pattern,
-            partition=args.partition if args.partition else None,
-            policy=policy,
-            max_matches=args.limit,
-            within=args.within,
-        )
+        partition = args.partition if args.partition else None
+        if args.explain:
+            matches, plan = index.detect(
+                pattern,
+                partition=partition,
+                policy=policy,
+                max_matches=args.limit,
+                within=args.within,
+                explain=True,
+            )
+            print("plan:")
+            for line in plan.describe().splitlines():
+                print(f"  {line}")
+        else:
+            matches = index.detect(
+                pattern,
+                partition=partition,
+                policy=policy,
+                max_matches=args.limit,
+                within=args.within,
+            )
         print(f"{len(matches)} completions of {pattern}")
         for match in matches[: args.show]:
             stamps = ", ".join(f"{ts:g}" for ts in match.timestamps)
@@ -207,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
     det.add_argument("--within", type=float, default=None)
     det.add_argument("--limit", type=int, default=None)
     det.add_argument("--show", type=int, default=20)
+    det.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the chosen join order and pair cardinalities",
+    )
     det.set_defaults(fn=cmd_detect)
 
     sta = sub.add_parser("stats", help="pairwise statistics of a pattern")

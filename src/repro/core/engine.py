@@ -21,7 +21,12 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.core.builder import IndexBuilder, UpdateStats
 from repro.core.continuation import ContinuationExplorer
-from repro.core.matches import ContinuationProposal, PatternMatch, PatternStats
+from repro.core.matches import (
+    ContinuationProposal,
+    PatternMatch,
+    PatternStats,
+    QueryPlan,
+)
 from repro.core.model import Event, EventLog
 from repro.core.policies import PairMethod, Policy
 from repro.core.query import QueryProcessor
@@ -44,6 +49,14 @@ class SequenceIndex:
     invalidates every stale entry by construction: post-update queries
     simply never hash to a pre-update key, and the dead generation ages out
     of the LRU.  Set ``query_cache_size=0`` to disable.
+
+    A second, lower-level **decoded-postings cache** memoizes per-pair
+    posting lists after decode/group (keyed by ``(generation, partition,
+    pair)``), so repeated detections sharing pairs skip re-decoding even
+    when the full query differs.  Set ``postings_cache_size=0`` to disable.
+    ``planner`` and ``batched_reads`` toggle the selectivity-driven join
+    reordering and the batched ``multi_get`` read path; both exist for the
+    planner ablation benchmark and should stay on otherwise.
     """
 
     def __init__(
@@ -53,11 +66,23 @@ class SequenceIndex:
         method: PairMethod | None = None,
         executor: ParallelExecutor | None = None,
         query_cache_size: int = 128,
+        postings_cache_size: int = 64,
+        planner: bool = True,
+        batched_reads: bool = True,
     ) -> None:
         self.store = store if store is not None else InMemoryStore()
         self.builder = IndexBuilder(self.store, policy, method, executor)
         self.tables = self.builder.tables
-        self.query = QueryProcessor(self.tables)
+        self.tables.batched_reads = batched_reads
+        self._postings_cache = (
+            LRUCache(postings_cache_size) if postings_cache_size > 0 else None
+        )
+        self.query = QueryProcessor(
+            self.tables,
+            postings_cache=self._postings_cache,
+            generation=lambda: self._generation,
+            planner_enabled=planner,
+        )
         self.explorer = ContinuationExplorer(self.tables, self.query)
         self._query_cache = LRUCache(query_cache_size) if query_cache_size > 0 else None
         self._generation = 0
@@ -78,6 +103,10 @@ class SequenceIndex:
     def query_cache_stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters of the query-result cache."""
         return self._query_cache.stats() if self._query_cache is not None else {}
+
+    def postings_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the decoded-postings cache."""
+        return self._postings_cache.stats() if self._postings_cache is not None else {}
 
     def _cached(self, key: tuple[Hashable, ...], compute: Callable[[], Any]) -> Any:
         """Memoize ``compute()`` under the current write generation.
@@ -157,12 +186,41 @@ class SequenceIndex:
         policy: Policy | None = None,
         max_matches: int | None = None,
         within: float | None = None,
-    ) -> list[PatternMatch]:
-        """All completions of ``pattern`` (Algorithm 2)."""
+        explain: bool = False,
+    ) -> list[PatternMatch] | tuple[list[PatternMatch], QueryPlan]:
+        """All completions of ``pattern`` (Algorithm 2).
+
+        With ``explain=True`` the return value is ``(matches, plan)`` where
+        ``plan`` records the pair cardinalities and join order the planner
+        chose; explain calls bypass the query-result cache so the plan
+        always reflects a real execution.
+        """
+        if explain:
+            plan = self.explain(pattern, partition)
+            matches = self.query.detect(
+                pattern, partition, policy, max_matches, within
+            )
+            return matches, plan
         return self._cached(
             ("detect", tuple(pattern), partition, policy, max_matches, within),
             lambda: self.query.detect(pattern, partition, policy, max_matches, within),
         )
+
+    def explain(
+        self, pattern: Sequence[str], partition: str | None = ""
+    ) -> QueryPlan:
+        """The execution plan a detection of ``pattern`` would use."""
+        if len(pattern) < 2:
+            # Length-0/1 patterns never reach the join; report a trivial plan.
+            return QueryPlan(
+                pattern=tuple(pattern),
+                pairs=(),
+                cardinalities=(),
+                order=(),
+                reordered=False,
+                partition=partition,
+            )
+        return self.query.plan(pattern, partition)
 
     def count(
         self,

@@ -127,5 +127,48 @@ class ContinuationProposal:
         return self.completions / self.average_duration
 
 
+@dataclass(frozen=True)
+class QueryPlan:
+    """How the query processor decided to execute one detection.
+
+    ``pairs[i]`` is the pattern's ``i``-th consecutive pair and
+    ``cardinalities[i]`` its exact global completion count from the
+    ``Count`` table (exact because greedy non-overlapping matching inserts
+    one Count increment per indexed pair entry).  ``order`` lists pair
+    indices in the join order actually executed: the planner starts at the
+    rarest pair and extends to adjacent pairs, cheapest side first, so the
+    intermediate chain set is never larger than the rarest posting list.
+    ``reordered`` is ``False`` when that order coincides with naive
+    left-to-right evaluation (or when reordering was disabled).
+    """
+
+    pattern: tuple[str, ...]
+    pairs: tuple[tuple[str, str], ...]
+    cardinalities: tuple[int, ...]
+    order: tuple[int, ...]
+    reordered: bool
+    partition: str | None = ""
+
+    @property
+    def estimated_cost(self) -> int:
+        """Planner cost proxy: the rarest pair bounds the chain frontier."""
+        return min(self.cardinalities, default=0)
+
+    def describe(self) -> str:
+        """One line per join step, for ``detect --explain`` output."""
+        lines = []
+        for step, idx in enumerate(self.order):
+            first, second = self.pairs[idx]
+            lines.append(
+                f"step {step}: pair {idx} ({first} -> {second}) "
+                f"cardinality={self.cardinalities[idx]}"
+            )
+        lines.append(
+            f"order={'reordered' if self.reordered else 'left-to-right'} "
+            f"bound={self.estimated_cost} completions"
+        )
+        return "\n".join(lines)
+
+
 #: alias kept for symmetry with the paper's wording ("completions")
 Completion = PatternMatch

@@ -1,14 +1,32 @@
 """The query processor component (§3.2): statistics and pattern detection.
 
 *Statistics* queries read only the ``Count`` and ``LastChecked`` tables --
-constant work per pattern pair.  *Pattern detection* (Algorithm 2) fetches
-the inverted-index entries of every consecutive pattern pair and chains them
-per trace by joining on the shared event's timestamp.  Because the index's
-pairs are greedy and non-overlapping, a chain extends in at most one way,
-so the join is a hash lookup per partial chain.
+constant work per pattern pair, fetched as one batched read.  *Pattern
+detection* (Algorithm 2) fetches the inverted-index entries of every
+consecutive pattern pair and chains them per trace by joining on the shared
+event's timestamp.  Because the index's pairs are greedy and
+non-overlapping, a chain extends in at most one way, so the join is a hash
+lookup per partial chain.
+
+Since the selectivity-driven planner rework, detection no longer evaluates
+pairs left-to-right unconditionally.  A :class:`~repro.core.matches.QueryPlan`
+is built first from the exact per-pair cardinalities the ``Count`` table
+stores anyway (one batched read): the join starts at the *rarest* pair and
+extends bidirectionally, cheapest adjacent pair next, so the intermediate
+chain set is bounded by the smallest posting list instead of the first one.
+Posting lists are fetched with one batched ``multi_get`` per Index table,
+per-trace candidate sets are intersected *before* any posting list is
+decoded and grouped, and grouping is lazy -- restricted to surviving traces,
+skipped entirely for pairs after the chain set empties, and memoized in an
+optional decoded-postings LRU (see :class:`repro.core.engine.SequenceIndex`).
+The join order never changes the result: extension is unique per chain, so
+the planner's output is byte-identical to left-to-right evaluation
+(property-tested against it and against a brute-force oracle).
 
 The detection by-product the paper mentions -- matches of every pattern
-*prefix* -- is available through :meth:`QueryProcessor.detect_with_prefixes`.
+*prefix* -- is available through :meth:`QueryProcessor.detect_with_prefixes`,
+which keeps the old left-to-right order as an explicit plan (prefix
+snapshots only exist in that order).
 
 Skip-till-any-match (STAM, §7 future work) is supported as an extension:
 the pair index prunes to candidate traces (any STAM match implies the
@@ -18,21 +36,157 @@ exhaustively per candidate.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.errors import EmptyPatternError
-from repro.core.matches import PairStats, PatternMatch, PatternStats
+from repro.core.matches import PairStats, PatternMatch, PatternStats, QueryPlan
 from repro.core.policies import Policy
 from repro.core.tables import IndexTables
 
 Chain = tuple[float, ...]
 
+_MISS = object()
+
+
+class _PlannedPostings:
+    """Posting-list access for one planned query: batch-fetch, lazy group.
+
+    Raw entry lists for all uncached pairs are fetched in one batched read;
+    decoding/grouping into per-trace sorted completion lists happens only on
+    demand (and only for surviving traces when no postings cache is
+    attached, since a partial grouping must not be memoized).
+    """
+
+    def __init__(self, query: "QueryProcessor", plan: QueryPlan) -> None:
+        self._query = query
+        self._pairs = plan.pairs
+        self._partition = plan.partition
+        self._grouped: dict[int, dict[str, list[tuple[float, float]]]] = {}
+        self._raw: dict[int, list[tuple[str, float, float]]] = {}
+        self._trace_sets: dict[int, set[str]] = {}
+        missing: list[int] = []
+        for i, pair in enumerate(self._pairs):
+            hit = query._postings_cache_get(pair, self._partition)
+            if hit is not None:
+                self._grouped[i] = hit
+            else:
+                missing.append(i)
+        if missing:
+            fetched = query.tables.get_index_many(
+                [self._pairs[i] for i in missing], self._partition
+            )
+            for i in missing:
+                self._raw[i] = fetched[self._pairs[i]]
+
+    def trace_set(self, i: int) -> set[str]:
+        """Trace ids holding at least one completion of pair ``i``."""
+        cached = self._trace_sets.get(i)
+        if cached is None:
+            grouped = self._grouped.get(i)
+            if grouped is not None:
+                cached = set(grouped)
+            else:
+                cached = {entry[0] for entry in self._raw[i]}
+            self._trace_sets[i] = cached
+        return cached
+
+    def group(
+        self, i: int, restrict: set[str]
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Per-trace sorted completions of pair ``i``.
+
+        With a postings cache attached the full grouping is built once and
+        memoized (hot pairs skip re-decode/re-group on later queries);
+        without one only ``restrict`` traces are decoded.
+        """
+        grouped = self._grouped.get(i)
+        if grouped is not None:
+            return grouped
+        raw = self._raw[i]
+        if self._query.postings_cache is not None:
+            grouped = _group_entries(raw, None)
+            self._query._postings_cache_put(self._pairs[i], self._partition, grouped)
+        else:
+            grouped = _group_entries(raw, restrict)
+        self._grouped[i] = grouped
+        return grouped
+
+
+def _group_entries(
+    entries: list[tuple[str, float, float]], restrict: set[str] | None
+) -> dict[str, list[tuple[float, float]]]:
+    """Group raw index entries per trace (each list time-ordered)."""
+    grouped: dict[str, list[tuple[float, float]]] = {}
+    for trace_id, ts_a, ts_b in entries:
+        if restrict is not None and trace_id not in restrict:
+            continue
+        grouped.setdefault(trace_id, []).append((ts_a, ts_b))
+    for completions in grouped.values():
+        completions.sort()
+    return grouped
+
 
 class QueryProcessor:
-    """Executes pattern queries against the index tables."""
+    """Executes pattern queries against the index tables.
 
-    def __init__(self, tables: IndexTables) -> None:
+    ``postings_cache`` is an optional LRU of decoded/grouped posting lists
+    keyed by ``(generation, partition, pair)``; ``generation`` supplies the
+    owning index's write generation so a batch update invalidates by
+    construction.  ``planner_enabled=False`` pins every detection to naive
+    left-to-right evaluation (the ablation baseline and the prefix path).
+    """
+
+    def __init__(
+        self,
+        tables: IndexTables,
+        postings_cache=None,
+        generation: Callable[[], int] | None = None,
+        planner_enabled: bool = True,
+    ) -> None:
         self.tables = tables
+        self.postings_cache = postings_cache
+        self._generation = generation if generation is not None else lambda: 0
+        self.planner_enabled = planner_enabled
+        # Decoded Count rows keyed (generation, first_event).  Decoding a
+        # Count document is O(|alphabet|) -- too expensive to repeat per
+        # plan() -- while the rows themselves are bounded by the alphabet,
+        # so the planner keeps them warm per write generation (the key
+        # embeds the generation, exactly like the postings cache, so an
+        # index update invalidates by construction).
+        self._count_rows: dict[tuple[int, str], dict] = {}
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        metrics = getattr(self.tables.store, "metrics", None)
+        if metrics is not None:
+            metrics.bump(name, amount)
+
+    # -- postings cache ----------------------------------------------------------
+
+    def _postings_cache_get(self, pair, partition):
+        if self.postings_cache is None:
+            return None
+        key = (self._generation(), partition, pair)
+        hit = self.postings_cache.get(key, _MISS)
+        if hit is _MISS:
+            self._bump("postings_cache_misses")
+            return None
+        self._bump("postings_cache_hits")
+        return hit
+
+    def _postings_cache_put(self, pair, partition, grouped) -> None:
+        if self.postings_cache is not None:
+            self.postings_cache.put((self._generation(), partition, pair), grouped)
+
+    def _grouped_full(
+        self, pair: tuple[str, str], partition: str | None
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Fully grouped postings of one pair, through the cache if attached."""
+        hit = self._postings_cache_get(pair, partition)
+        if hit is not None:
+            return hit
+        grouped = self.tables.get_index_grouped(pair, partition)
+        self._postings_cache_put(pair, partition, grouped)
+        return grouped
 
     # -- statistics (§3.2.1 "Statistics") ---------------------------------------
 
@@ -44,23 +198,35 @@ class QueryProcessor:
         whole-pattern completions and the summed average duration estimate.
 
         With ``all_pairs=True``, statistics of every non-adjacent pattern
-        pair are also fetched, tightening the completions bound at the cost
-        of O(p^2) instead of O(p) ``Count`` look-ups (the accuracy/time
-        trade-off §3.2.1 describes).
+        pair are also fetched, tightening the completions bound (§3.2.1's
+        accuracy/time trade-off).  All O(p^2) ``Count`` and ``LastChecked``
+        rows come from two batched reads instead of a point read per pair.
         """
         if len(pattern) < 2:
             raise EmptyPatternError("statistics need a pattern of length >= 2")
-        rows = [
-            self._pair_stats(first, second)
-            for first, second in zip(pattern, pattern[1:])
-        ]
-        extras = []
+        adjacent = list(zip(pattern, pattern[1:]))
+        extras: list[tuple[str, str]] = []
         if all_pairs:
             for i in range(len(pattern)):
                 for j in range(i + 2, len(pattern)):
-                    extras.append(self._pair_stats(pattern[i], pattern[j]))
+                    extras.append((pattern[i], pattern[j]))
+        counts = self.tables.get_pair_counts(adjacent + extras)
+        checked = self.tables.get_last_checked_many(adjacent + extras)
+
+        def row(pair: tuple[str, str]) -> PairStats:
+            total_duration, completions = counts[pair]
+            stamps = checked[pair]
+            return PairStats(
+                pair=pair,
+                completions=completions,
+                total_duration=total_duration,
+                last_completion=max(stamps.values()) if stamps else None,
+            )
+
         return PatternStats(
-            pattern=tuple(pattern), pairs=tuple(rows), extra_pairs=tuple(extras)
+            pattern=tuple(pattern),
+            pairs=tuple(row(pair) for pair in adjacent),
+            extra_pairs=tuple(row(pair) for pair in extras),
         )
 
     def _pair_stats(self, first: str, second: str) -> PairStats:
@@ -72,6 +238,55 @@ class QueryProcessor:
             total_duration=total_duration,
             last_completion=last,
         )
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(
+        self, pattern: Sequence[str], partition: str | None = ""
+    ) -> QueryPlan:
+        """Build the execution plan for a detection of ``pattern``.
+
+        One batched ``Count`` read yields every consecutive pair's exact
+        global completion count (exact even per partition as an upper
+        bound: statistics tables are global, so zero means zero
+        everywhere).  The join order starts at the rarest pair and grows
+        the covered window towards whichever adjacent pair is cheaper.
+        """
+        if len(pattern) < 2:
+            raise EmptyPatternError("planning needs a pattern of length >= 2")
+        pairs = tuple(zip(pattern, pattern[1:]))
+        cardinalities = self._cardinalities(pairs)
+        natural = tuple(range(len(pairs)))
+        order = (
+            _rarest_first_order(cardinalities) if self.planner_enabled else natural
+        )
+        return QueryPlan(
+            pattern=tuple(pattern),
+            pairs=pairs,
+            cardinalities=cardinalities,
+            order=order,
+            reordered=order != natural,
+            partition=partition,
+        )
+
+    def _cardinalities(self, pairs: tuple[tuple[str, str], ...]) -> tuple[int, ...]:
+        """Exact completion counts per pair, through the Count-row cache."""
+        generation = self._generation()
+        missing = [
+            first
+            for first in dict.fromkeys(first for first, _ in pairs)
+            if (generation, first) not in self._count_rows
+        ]
+        if missing:
+            if len(self._count_rows) > 4096:  # dead generations age out here
+                self._count_rows.clear()
+            for first, row in self.tables.get_count_rows(missing).items():
+                self._count_rows[(generation, first)] = row
+        out = []
+        for first, second in pairs:
+            stats = self._count_rows[(generation, first)].get(second)
+            out.append(int(stats[1]) if stats is not None else 0)
+        return tuple(out)
 
     # -- pattern detection (Algorithm 2) ------------------------------------------
 
@@ -117,9 +332,33 @@ class QueryProcessor:
         partition: str | None = "",
         within: float | None = None,
     ) -> int:
-        """Number of completions of ``pattern`` (detection without keeping
-        the matches around is still linear in their count)."""
-        return len(self.detect(pattern, partition, within=within))
+        """Number of completions of ``pattern``.
+
+        Counts the chains directly -- no :class:`PatternMatch` object is
+        materialized per completion.
+        """
+        if len(pattern) == 0:
+            raise EmptyPatternError("cannot detect an empty pattern")
+        if within is not None and within < 0:
+            raise ValueError("within must be non-negative")
+        if len(pattern) == 1:
+            # Single events span zero time, so any non-negative window keeps
+            # them all; count occurrences straight off the Seq table.
+            return sum(
+                1
+                for _, seq in self.tables.iter_sequences()
+                for activity, _ in seq
+                if activity == pattern[0]
+            )
+        chains = self._chain(pattern, partition)
+        if within is None:
+            return sum(len(trace_chains) for trace_chains in chains.values())
+        return sum(
+            1
+            for trace_chains in chains.values()
+            for chain in trace_chains
+            if chain[-1] - chain[0] <= within
+        )
 
     def detect_with_prefixes(
         self, pattern: Sequence[str], partition: str | None = ""
@@ -127,12 +366,14 @@ class QueryProcessor:
         """Matches for every prefix of ``pattern`` of length >= 2.
 
         The paper notes these come for free: Algorithm 2 materialises each
-        prefix's chains on the way to the full pattern.
+        prefix's chains on the way to the full pattern.  Prefix snapshots
+        only exist under left-to-right evaluation, so this path keeps the
+        naive order as an explicit plan regardless of the planner setting.
         """
         if len(pattern) < 2:
             raise EmptyPatternError("prefix detection needs a pattern of length >= 2")
         result: dict[int, list[PatternMatch]] = {}
-        chains = self._chain(pattern, partition, snapshots=result)
+        chains = self._chain_left_to_right(pattern, partition, snapshots=result)
         result[len(pattern)] = [
             PatternMatch(trace_id, chain)
             for trace_id, trace_chains in sorted(chains.items())
@@ -141,8 +382,71 @@ class QueryProcessor:
         return result
 
     def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
-        """Ids of traces containing ``pattern`` at least once."""
-        return sorted({match.trace_id for match in self.detect(pattern, partition)})
+        """Ids of traces containing ``pattern`` at least once.
+
+        Short-circuits per trace: candidate traces are intersected from the
+        pair index first, then each candidate stops at its first chain that
+        survives every join step -- no match set is materialized.
+        """
+        if len(pattern) == 0:
+            raise EmptyPatternError("cannot detect an empty pattern")
+        if len(pattern) == 1:
+            return sorted(
+                trace_id
+                for trace_id, seq in self.tables.iter_sequences()
+                if any(activity == pattern[0] for activity, _ in seq)
+            )
+        plan = self.plan(pattern, partition)
+        if 0 in plan.cardinalities:
+            return []
+        self._note_executed(plan)
+        postings = _PlannedPostings(self, plan)
+        survivors = self._intersect_candidates(plan, postings)
+        if not survivors:
+            return []
+        order = plan.order
+        start = order[0]
+        start_grouped = postings.group(start, survivors)
+        found: list[str] = []
+        for trace_id in sorted(survivors):
+            entries = start_grouped.get(trace_id)
+            if not entries:
+                continue
+            by_first: dict[int, dict[float, float]] = {}
+            by_second: dict[int, dict[float, float]] = {}
+            for ts_a, ts_b in entries:
+                low, high = ts_a, ts_b
+                left = right = start
+                alive = True
+                for idx in order[1:]:
+                    completions = postings.group(idx, survivors).get(trace_id)
+                    if not completions:
+                        alive = False
+                        break
+                    if idx > right:
+                        step = by_first.get(idx)
+                        if step is None:
+                            step = by_first[idx] = dict(completions)
+                        high = step.get(high)
+                        if high is None:
+                            alive = False
+                            break
+                        right = idx
+                    else:
+                        step = by_second.get(idx)
+                        if step is None:
+                            step = by_second[idx] = {
+                                b: a for a, b in completions
+                            }
+                        low = step.get(low)
+                        if low is None:
+                            alive = False
+                            break
+                        left = idx
+                if alive:
+                    found.append(trace_id)
+                    break
+        return found
 
     # -- internals ---------------------------------------------------------------------
 
@@ -156,14 +460,113 @@ class QueryProcessor:
         return matches
 
     def _chain(
+        self, pattern: Sequence[str], partition: str | None
+    ) -> dict[str, list[Chain]]:
+        """Algorithm 2: join consecutive pair entries on shared timestamps."""
+        if not self.planner_enabled:
+            return self._chain_left_to_right(pattern, partition)
+        return self._chain_planned(pattern, partition)
+
+    def _note_executed(self, plan: QueryPlan) -> None:
+        if plan.reordered:
+            self._bump("planner_reorders")
+
+    def _intersect_candidates(
+        self, plan: QueryPlan, postings: _PlannedPostings
+    ) -> set[str]:
+        """Traces holding every pair, intersected cheapest set first.
+
+        Starting from the rarest pair's trace set keeps every intermediate
+        intersection no larger than the smallest one seen so far, and an
+        empty result aborts before any posting list is decoded or grouped.
+        """
+        survivors: set[str] | None = None
+        for i in sorted(
+            range(len(plan.pairs)), key=lambda i: (plan.cardinalities[i], i)
+        ):
+            traces = postings.trace_set(i)
+            survivors = set(traces) if survivors is None else survivors & traces
+            if not survivors:
+                return set()
+        return survivors or set()
+
+    def _chain_planned(
+        self, pattern: Sequence[str], partition: str | None
+    ) -> dict[str, list[Chain]]:
+        """Planner execution: rarest pair first, bidirectional extension.
+
+        Produces exactly the left-to-right result (greedy non-overlapping
+        pairs make both endpoints of a completion unique within a trace, so
+        chains extend uniquely in either direction); each trace's chains are
+        sorted, which is the order left-to-right evaluation emits.
+        """
+        plan = self.plan(pattern, partition)
+        if 0 in plan.cardinalities:
+            # Count is global and exact: a zero-cardinality pair has no
+            # postings in any partition, so the chain is dead on arrival.
+            return {}
+        self._note_executed(plan)
+        postings = _PlannedPostings(self, plan)
+        survivors = self._intersect_candidates(plan, postings)
+        if not survivors:
+            return {}
+        order = plan.order
+        start = order[0]
+        grouped = postings.group(start, survivors)
+        chains: dict[str, list[Chain]] = {}
+        for trace_id in survivors:
+            entries = grouped.get(trace_id)
+            if entries:
+                chains[trace_id] = [tuple(entry) for entry in entries]
+        left = right = start
+        for idx in order[1:]:
+            if not chains:
+                break
+            frontier = set(chains)
+            step_grouped = postings.group(idx, frontier)
+            extended: dict[str, list[Chain]] = {}
+            if idx > right:
+                for trace_id, trace_chains in chains.items():
+                    completions = step_grouped.get(trace_id)
+                    if not completions:
+                        continue
+                    by_first = dict(completions)
+                    new_chains = []
+                    for chain in trace_chains:
+                        ts_b = by_first.get(chain[-1])
+                        if ts_b is not None:
+                            new_chains.append(chain + (ts_b,))
+                    if new_chains:
+                        extended[trace_id] = new_chains
+                right = idx
+            else:
+                for trace_id, trace_chains in chains.items():
+                    completions = step_grouped.get(trace_id)
+                    if not completions:
+                        continue
+                    by_second = {ts_b: ts_a for ts_a, ts_b in completions}
+                    new_chains = []
+                    for chain in trace_chains:
+                        ts_a = by_second.get(chain[0])
+                        if ts_a is not None:
+                            new_chains.append((ts_a,) + chain)
+                    if new_chains:
+                        extended[trace_id] = new_chains
+                left = idx
+            chains = extended
+        for trace_chains in chains.values():
+            trace_chains.sort()
+        return chains
+
+    def _chain_left_to_right(
         self,
         pattern: Sequence[str],
         partition: str | None,
         snapshots: dict[int, list[PatternMatch]] | None = None,
     ) -> dict[str, list[Chain]]:
-        """Algorithm 2: join consecutive pair entries on shared timestamps."""
+        """Naive left-to-right join (the explicit plan behind prefixes)."""
         first_pair = (pattern[0], pattern[1])
-        grouped = self.tables.get_index_grouped(first_pair, partition)
+        grouped = self._grouped_full(first_pair, partition)
         previous: dict[str, list[Chain]] = {
             trace_id: [(ts_a, ts_b) for ts_a, ts_b in entries]
             for trace_id, entries in grouped.items()
@@ -176,7 +579,7 @@ class QueryProcessor:
                     for chain in trace_chains
                 ]
             pair = (pattern[i], pattern[i + 1])
-            grouped = self.tables.get_index_grouped(pair, partition)
+            grouped = self._grouped_full(pair, partition)
             extended: dict[str, list[Chain]] = {}
             for trace_id, chains in previous.items():
                 completions = grouped.get(trace_id)
@@ -221,18 +624,42 @@ class QueryProcessor:
 
         Sound for STAM pruning: if a trace holds a STAM match then each
         consecutive pair occurs in order, so the greedy STNM index has an
-        entry for it.
+        entry for it.  Posting lists are fetched in one batch and the
+        intersection runs cheapest set first with early exit.
         """
         if len(pattern) == 1:
             return sorted({m.trace_id for m in self._detect_single(pattern[0])})
-        survivors: set[str] | None = None
-        for first, second in zip(pattern, pattern[1:]):
-            grouped = self.tables.get_index_grouped((first, second), partition)
-            traces = set(grouped)
-            survivors = traces if survivors is None else survivors & traces
-            if not survivors:
-                return []
-        return sorted(survivors or set())
+        plan = self.plan(pattern, partition)
+        if 0 in plan.cardinalities:
+            return []
+        postings = _PlannedPostings(self, plan)
+        return sorted(self._intersect_candidates(plan, postings))
+
+
+def _rarest_first_order(cardinalities: tuple[int, ...]) -> tuple[int, ...]:
+    """Join order: start at the rarest pair, extend towards cheaper sides.
+
+    The covered pair window stays contiguous (only contiguous windows can
+    join on shared timestamps), so at each step the choice is between the
+    pair just left and just right of the window; the cheaper one goes next,
+    ties preferring the right side (closer to natural order).
+    """
+    n = len(cardinalities)
+    start = min(range(n), key=lambda i: (cardinalities[i], i))
+    order = [start]
+    left, right = start, start
+    while len(order) < n:
+        take_left = left > 0
+        take_right = right < n - 1
+        if take_left and take_right:
+            take_left = cardinalities[left - 1] < cardinalities[right + 1]
+        if take_left:
+            left -= 1
+            order.append(left)
+        else:
+            right += 1
+            order.append(right)
+    return tuple(order)
 
 
 def _enumerate_stam(

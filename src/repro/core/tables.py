@@ -45,10 +45,24 @@ def _index_table(partition: str) -> str:
 
 
 class IndexTables:
-    """Typed accessors over the store tables used by builder and queries."""
+    """Typed accessors over the store tables used by builder and queries.
 
-    def __init__(self, store: KeyValueStore) -> None:
+    ``batched_reads`` routes multi-key accessors through the store's
+    :meth:`~repro.kvstore.api.KeyValueStore.multi_get` (one snapshot, shared
+    bloom/block work per batch); disabling it falls back to a loop of
+    point ``get`` calls with identical results -- the knob exists for the
+    planner ablation benchmark, not for production tuning.
+    """
+
+    def __init__(self, store: KeyValueStore, batched_reads: bool = True) -> None:
         self.store = store
+        self.batched_reads = batched_reads
+
+    def _multi_get(self, table: str, keys: list, default) -> list:
+        """Batched (or, for ablations, looped) point reads on one table."""
+        if self.batched_reads:
+            return self.store.multi_get(table, keys, default)
+        return [self.store.get(table, key, default) for key in keys]
 
     # -- schema ------------------------------------------------------------
 
@@ -136,19 +150,49 @@ class IndexTables:
     ) -> None:
         self.store.merge(_index_table(partition), pair, entries)
 
+    def _index_tables_for(self, partition: str | None) -> list[str]:
+        """Physical Index tables a read targets, in union (partition) order.
+
+        A named (or default) partition resolves to its table unconditionally
+        -- a missing table surfaces as ``UnknownTableError`` exactly like any
+        other read.  ``partition=None`` unions every registered partition,
+        each guarded by the same ``has_table`` check (a meta entry whose
+        table was never created is skipped, the default partition included).
+        """
+        if partition is not None:
+            return [_index_table(partition)]
+        return [
+            table
+            for name in self.partitions()
+            if self.store.has_table(table := _index_table(name))
+        ]
+
     def get_index(
         self, pair: tuple[str, str], partition: str | None = _DEFAULT_PARTITION
     ) -> list[tuple[str, float, float]]:
         """Index entries for ``pair``; ``partition=None`` unions all partitions."""
-        if partition is not None:
-            raw = self.store.get(_index_table(partition), pair, [])
-            return [tuple(item) for item in raw]
-        merged: list[tuple[str, float, float]] = []
-        for name in self.partitions():
-            table = _index_table(name)
-            if not self.store.has_table(table):
-                continue
-            merged.extend(tuple(item) for item in self.store.get(table, pair, []))
+        return self.get_index_many([pair], partition)[pair]
+
+    def get_index_many(
+        self,
+        pairs: list[tuple[str, str]],
+        partition: str | None = _DEFAULT_PARTITION,
+    ) -> dict[tuple[str, str], list[tuple[str, float, float]]]:
+        """Index entries for many pairs, fetched as one batch per table.
+
+        One :meth:`~repro.kvstore.api.KeyValueStore.multi_get` per physical
+        Index table replaces a point read per (pair, partition); the result
+        maps every requested pair to its (possibly empty) entry list, with
+        ``partition=None`` unioning partitions in registration order.
+        """
+        unique = list(dict.fromkeys(pairs))
+        merged: dict[tuple[str, str], list[tuple[str, float, float]]] = {
+            pair: [] for pair in unique
+        }
+        for table in self._index_tables_for(partition):
+            rows = self._multi_get(table, unique, [])
+            for pair, raw in zip(unique, rows):
+                merged[pair].extend(tuple(item) for item in raw)
         return merged
 
     def get_index_grouped(
@@ -187,6 +231,30 @@ class IndexTables:
         stats = self.get_counts(pair[0]).get(pair[1])
         return stats if stats is not None else (0.0, 0)
 
+    def get_count_rows(self, firsts: list[str]) -> dict[str, dict]:
+        """Raw Count documents for many first events, in one batched read."""
+        unique = list(dict.fromkeys(firsts))
+        rows = self._multi_get(COUNT, unique, {})
+        return dict(zip(unique, rows))
+
+    def get_pair_counts(
+        self, pairs: list[tuple[str, str]]
+    ) -> dict[tuple[str, str], tuple[float, int]]:
+        """``{pair: (sum_duration, completions)}`` for many pairs at once.
+
+        One batched read over the distinct first events replaces a Count
+        look-up per pair (the ``statistics(all_pairs=True)`` path was
+        O(p^2) point reads); absent pairs map to ``(0.0, 0)``.
+        """
+        per_first = self.get_count_rows([first for first, _ in pairs])
+        result: dict[tuple[str, str], tuple[float, int]] = {}
+        for pair in pairs:
+            stats = per_first[pair[0]].get(pair[1])
+            result[pair] = (
+                (stats[0], int(stats[1])) if stats is not None else (0.0, 0)
+            )
+        return result
+
     # -- LastChecked ------------------------------------------------------------------
 
     def update_last_checked(
@@ -197,6 +265,14 @@ class IndexTables:
     def get_last_checked(self, pair: tuple[str, str]) -> dict[str, float]:
         """Per-trace timestamp of the pair's most recent completion."""
         return dict(self.store.get(LAST_CHECKED, pair, {}))
+
+    def get_last_checked_many(
+        self, pairs: list[tuple[str, str]]
+    ) -> dict[tuple[str, str], dict[str, float]]:
+        """LastChecked documents for many pairs in one batched read."""
+        unique = list(dict.fromkeys(pairs))
+        rows = self._multi_get(LAST_CHECKED, unique, {})
+        return {pair: dict(raw) for pair, raw in zip(unique, rows)}
 
     def get_last_completion(self, pair: tuple[str, str]) -> float | None:
         """Most recent completion of ``pair`` across all traces."""
@@ -210,9 +286,16 @@ class IndexTables:
         needed for future incremental updates is released.
         """
         self.delete_sequence(trace_id)
-        for a in alphabet:
-            for b in alphabet:
-                checked = self.get_last_checked((a, b))
-                if trace_id in checked:
-                    del checked[trace_id]
-                    self.store.put(LAST_CHECKED, (a, b), checked)
+        events = sorted(alphabet)
+        pairs = [(a, b) for a in events for b in events]
+        if not pairs:
+            return
+        # One batched read over the |alphabet|^2 LastChecked keys instead of
+        # a get/put round-trip per pair; only documents actually holding the
+        # trace are rewritten.
+        checked_by_pair = self.get_last_checked_many(pairs)
+        for pair in pairs:
+            checked = checked_by_pair[pair]
+            if trace_id in checked:
+                del checked[trace_id]
+                self.store.put(LAST_CHECKED, pair, checked)

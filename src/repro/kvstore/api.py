@@ -11,7 +11,7 @@ compositions of the same primitives with ``list``/``tuple``/``dict``.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.kvstore.encoding import Key, KeyPart
 
@@ -71,6 +71,23 @@ class KeyValueStore:
     def get(self, table: str, key: KeyPart | Key, default: Any = None) -> Any:
         """Return the merged value for ``key`` or ``default`` if absent."""
         raise NotImplementedError
+
+    def multi_get(
+        self,
+        table: str,
+        keys: Iterable[KeyPart | Key],
+        default: Any = None,
+    ) -> list[Any]:
+        """Batched point reads: one value per key, in input order.
+
+        Semantically identical to ``[self.get(table, k, default) for k in
+        keys]`` -- merge operators, tombstones and defaults included -- but
+        executed as one atomic batch: backends resolve every key against a
+        single consistent snapshot of their state and may share per-batch
+        work (lock acquisition, bloom probes, block reads).  Duplicate keys
+        are allowed and each position gets its answer.
+        """
+        return [self.get(table, key, default) for key in keys]
 
     def delete(self, table: str, key: KeyPart | Key) -> None:
         """Remove ``key`` (idempotent)."""

@@ -53,7 +53,7 @@ import os
 import re
 import struct
 import threading
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.kvstore.api import (
     KeyValueStore,
@@ -99,6 +99,12 @@ class StoreMetrics:
     compactions whose candidate output failed the pre-swap integrity check
     (reads then keep serving from the pre-compaction tables).
 
+    ``multi_get_batches`` counts batched read calls (each also bumps
+    ``gets`` once per key).  ``postings_cache_hits``/``misses`` and
+    ``planner_reorders`` are bumped by the query layer
+    (:class:`repro.core.engine.SequenceIndex`) onto its store's metrics so
+    serving-path counters live in one snapshot.
+
     Counters are sharded per thread so :meth:`bump` never takes a lock --
     concurrent readers do not serialize on a shared metrics mutex.
     :meth:`snapshot` (and attribute reads like ``metrics.gets``) aggregate
@@ -118,6 +124,10 @@ class StoreMetrics:
         "sstable_reads",
         "block_cache_hits",
         "block_cache_misses",
+        "multi_get_batches",
+        "postings_cache_hits",
+        "postings_cache_misses",
+        "planner_reorders",
     )
 
     def __init__(self) -> None:
@@ -409,6 +419,112 @@ class LSMStore(KeyValueStore):
             if not pending:
                 return default
             return _require_op(operator).full_merge(None, list(reversed(pending)))
+
+    def multi_get(
+        self,
+        table: str,
+        keys: Iterable[KeyPart | Key],
+        default: Any = None,
+    ) -> list[Any]:
+        """Batched point reads against one consistent snapshot.
+
+        The read lock is taken once for the whole batch; each memtable and
+        SSTable is then probed in a single pass over the (deduplicated,
+        sorted) key set, sharing bloom probes and block loads between
+        neighbouring keys.  Merge-operator resolution, tombstones and the
+        ``default`` are handled exactly as in :meth:`get`.
+        """
+        key_list = list(keys)
+        self.metrics.bump("multi_get_batches")
+        self.metrics.bump("gets", len(key_list))
+        with self._state_lock.read():
+            self._check_open()
+            operator = self._merge_ops.get(self._table_id(table))
+            full_by_norm: dict[Key, bytes] = {}
+            norm_keys = []
+            for key in key_list:
+                norm = normalize_key(key)
+                norm_keys.append(norm)
+                if norm not in full_by_norm:
+                    full_by_norm[norm] = self._full_key(table, norm)
+            # Per unique key: accumulated merge deltas (newest first) until a
+            # base record resolves it, mirroring get()'s layered resolution.
+            pending: dict[bytes, list[Any]] = {fk: [] for fk in full_by_norm.values()}
+            resolved: dict[bytes, Any] = {}
+            unresolved = set(pending)
+            for memtable in (self._memtable, self._immutable):
+                if memtable is None or not unresolved:
+                    continue
+                for full_key in list(unresolved):
+                    entry = memtable.lookup(full_key)
+                    if entry is None:
+                        continue
+                    deltas = pending[full_key]
+                    deltas.extend(decode_value(d) for d in reversed(entry.deltas))
+                    if entry.base_kind == BASE_PUT:
+                        base = (
+                            decode_value(entry.base_value)
+                            if entry.base_value is not None
+                            else None
+                        )
+                        resolved[full_key] = (
+                            base
+                            if not deltas
+                            else _require_op(operator).full_merge(
+                                base, list(reversed(deltas))
+                            )
+                        )
+                        unresolved.discard(full_key)
+                    elif entry.base_kind == BASE_DELETE:
+                        resolved[full_key] = (
+                            default
+                            if not deltas
+                            else _require_op(operator).full_merge(
+                                None, list(reversed(deltas))
+                            )
+                        )
+                        unresolved.discard(full_key)
+            for reader in reversed(self._sstables):
+                if not unresolved:
+                    break
+                candidates = []
+                for full_key in unresolved:
+                    if reader.may_contain(full_key):
+                        candidates.append(full_key)
+                    else:
+                        self.metrics.bump("bloom_skips")
+                if not candidates:
+                    continue
+                candidates.sort()
+                self.metrics.bump("sstable_reads", len(candidates))
+                records = reader.get_many(candidates)
+                for full_key in candidates:
+                    record = records.get(full_key)
+                    if record is None:
+                        continue
+                    kind, raw = record
+                    deltas = pending[full_key]
+                    if kind == KIND_MERGE:
+                        deltas.append(decode_value(raw))
+                        continue
+                    base = decode_value(raw) if kind == KIND_PUT else None
+                    if not deltas:
+                        resolved[full_key] = base if kind == KIND_PUT else default
+                    else:
+                        resolved[full_key] = _require_op(operator).full_merge(
+                            base, list(reversed(deltas))
+                        )
+                    unresolved.discard(full_key)
+            for full_key in unresolved:
+                deltas = pending[full_key]
+                resolved[full_key] = (
+                    default
+                    if not deltas
+                    else _require_op(operator).full_merge(
+                        None, list(reversed(deltas))
+                    )
+                )
+        return [resolved[full_by_norm[norm]] for norm in norm_keys]
 
     def scan(
         self, table: str, prefix: KeyPart | Key | None = None

@@ -8,7 +8,7 @@ under random operation sequences.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.kvstore.api import (
     KeyValueStore,
@@ -112,6 +112,20 @@ class InMemoryStore(KeyValueStore):
         if value is _MISSING:
             return default
         return _copy_value(value)
+
+    def multi_get(
+        self,
+        table: str,
+        keys: Iterable[KeyPart | Key],
+        default: Any = None,
+    ) -> list[Any]:
+        data = self._table(table)
+        key_list = list(keys)
+        self.metrics.bump("multi_get_batches")
+        self.metrics.bump("gets", len(key_list))
+        with self._lock:
+            raw = [data.get(normalize_key(key), _MISSING) for key in key_list]
+        return [default if value is _MISSING else _copy_value(value) for value in raw]
 
     def delete(self, table: str, key: KeyPart | Key) -> None:
         data = self._table(table)

@@ -216,6 +216,35 @@ class SSTableReader:
                 return None
         return None
 
+    def get_many(self, keys: list[bytes]) -> dict[bytes, tuple[int, bytes]]:
+        """Point-read many keys, sharing block loads between neighbours.
+
+        ``keys`` must be sorted ascending; block slots are then
+        non-decreasing, so each data block is loaded (and cache-probed) at
+        most once per batch instead of once per key.  Callers are expected
+        to pre-filter with :meth:`may_contain`; absent keys are simply
+        missing from the returned dict.
+        """
+        found: dict[bytes, tuple[int, bytes]] = {}
+        if not self._index_keys:
+            return found
+        last_slot = -1
+        records: list[tuple[bytes, int, bytes]] = []
+        for key in keys:
+            slot = bisect_right(self._index_keys, key) - 1
+            if slot < 0:
+                continue
+            if slot != last_slot:
+                records = self._load_block(slot)
+                last_slot = slot
+            for rec_key, kind, value in records:
+                if rec_key == key:
+                    found[key] = (kind, value)
+                    break
+                if rec_key > key:
+                    break
+        return found
+
     # -- block access ------------------------------------------------------
 
     def _block_bounds(self, slot: int) -> tuple[int, int]:

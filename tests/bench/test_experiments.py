@@ -110,4 +110,7 @@ class TestRegistryCompleteness:
         assert paper_artifacts <= set(ALL_EXPERIMENTS)
         # Beyond the paper: repo-specific ablations must stay registered
         # so the runner exposes them.
-        assert set(ALL_EXPERIMENTS) - paper_artifacts == {"ablation_cache"}
+        assert set(ALL_EXPERIMENTS) - paper_artifacts == {
+            "ablation_cache",
+            "ablation_planner",
+        }

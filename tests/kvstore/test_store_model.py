@@ -134,6 +134,16 @@ class StoreModelMachine(RuleBasedStateMachine):
             assert store.get("plain", key) == expect_plain
             assert store.get("idx", key) == expect_idx
 
+    @rule(keys=st.lists(KEYS, min_size=1, max_size=8))
+    def check_multi_get(self, keys):
+        # multi_get must be indistinguishable from a loop of gets, for any
+        # batch -- duplicates included -- at every point of the lifecycle
+        # (across memtables, SSTables, post-flush, post-compaction, reopen).
+        for table in ("plain", "idx"):
+            for store in (self.lsm, self.mem):
+                expected = [store.get(table, key, "absent") for key in keys]
+                assert store.multi_get(table, keys, "absent") == expected
+
     @rule(low=KEYS, high=KEYS)
     def check_range_scans(self, low, high):
         from repro.kvstore.encoding import encode_key
