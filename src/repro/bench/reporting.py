@@ -70,3 +70,23 @@ def write_csv(result: ExperimentResult, directory: str) -> str:
         for row in result.rows:
             writer.writerow(row)
     return path
+
+
+def write_profile(name: str, tracer: Any, directory: str) -> str:
+    """Persist a tracer's profile as ``<directory>/<name>.profile.txt``.
+
+    The file holds the per-span-name aggregate table followed by the head
+    of the recorded span tree -- enough to see where an experiment's time
+    went without storing every span of a long run.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.profile.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(tracer.format_summary())
+        fh.write("\n")
+        tree = tracer.format_tree(max_lines=200)
+        if tree:
+            fh.write("\nspan tree (first 200 spans):\n")
+            fh.write(tree)
+            fh.write("\n")
+    return path

@@ -16,8 +16,9 @@ import sys
 import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
-from repro.bench.reporting import format_table, write_csv
+from repro.bench.reporting import format_table, write_csv, write_profile
 from repro.logs.datasets import bench_scale
+from repro.obs.trace import Tracer, activate
 
 DEFAULT_SCALE = 0.05
 
@@ -48,12 +49,18 @@ def main(argv: list[str] | None = None) -> int:
     scale = args.scale if args.scale is not None else bench_scale(DEFAULT_SCALE)
     names = args.experiments or list(ALL_EXPERIMENTS)
     for name in names:
+        tracer = Tracer(max_spans=50_000)
         started = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](scale)
+        with activate(tracer):
+            result = ALL_EXPERIMENTS[name](scale)
         elapsed = time.perf_counter() - started
         print(format_table(result))
         path = write_csv(result, args.results_dir)
-        print(f"[{name} finished in {elapsed:.1f}s; csv: {path}]")
+        profile_path = write_profile(name, tracer, args.results_dir)
+        print(
+            f"[{name} finished in {elapsed:.1f}s; csv: {path}; "
+            f"profile: {profile_path}]"
+        )
         print()
     return 0
 

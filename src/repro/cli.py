@@ -4,10 +4,11 @@ Examples::
 
     python -m repro generate --dataset med_5000 --scale 0.1 --out log.csv
     python -m repro index --log log.csv --store ./ix --policy stnm
-    python -m repro detect --store ./ix A,B,C
+    python -m repro detect --store ./ix A,B,C --explain --profile
     python -m repro stats  --store ./ix A,B,C
     python -m repro continue --store ./ix A,B --mode hybrid --top-k 5
     python -m repro profile --log log.csv --store ./ix
+    python -m repro metrics --store ./ix
 """
 
 from __future__ import annotations
@@ -82,7 +83,22 @@ def cmd_detect(args: argparse.Namespace) -> int:
     with _open_index(args) as index:
         policy = Policy.STAM if args.stam else None
         partition = args.partition if args.partition else None
-        if args.explain:
+        if args.profile:
+            matches, plan, profile = index.detect(
+                pattern,
+                partition=partition,
+                policy=policy,
+                max_matches=args.limit,
+                within=args.within,
+                explain_profile=True,
+            )
+            print("plan:")
+            for line in plan.describe().splitlines():
+                print(f"  {line}")
+            print("profile:")
+            for line in profile.describe().splitlines():
+                print(f"  {line}")
+        elif args.explain:
             matches, plan = index.detect(
                 pattern,
                 partition=partition,
@@ -141,6 +157,24 @@ def cmd_continue(args: argparse.Namespace) -> int:
                 f"avg_gap={proposal.average_duration:g} "
                 f"score={proposal.score:g} ({exact})"
             )
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a Prometheus-style metrics snapshot for one store.
+
+    Opens the store (registering it with the process-wide registry),
+    optionally exercises the read path with a detection so the serving
+    counters are non-zero, and prints the registry's text exposition.
+    """
+    from repro.obs.registry import REGISTRY
+
+    with _open_index(args) as index:
+        if args.pattern:
+            partition = args.partition if args.partition else None
+            matches = index.detect(_pattern(args.pattern), partition=partition)
+            print(f"# ran detect {args.pattern!r}: {len(matches)} completions")
+        sys.stdout.write(REGISTRY.render())
     return 0
 
 
@@ -226,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the chosen join order and pair cardinalities",
     )
+    det.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under the tracer and print the per-stage time breakdown "
+        "(implies --explain)",
+    )
     det.set_defaults(fn=cmd_detect)
 
     sta = sub.add_parser("stats", help="pairwise statistics of a pattern")
@@ -248,6 +288,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, help="index store directory to inspect/verify"
     )
     pro.set_defaults(fn=cmd_profile)
+
+    met = sub.add_parser(
+        "metrics", help="Prometheus-style metrics snapshot of a store"
+    )
+    add_store_args(met)
+    met.add_argument(
+        "--pattern",
+        default=None,
+        help="optionally run this detection first so serving counters move",
+    )
+    met.add_argument("--partition", default="", help="partition ('' = default)")
+    met.set_defaults(fn=cmd_metrics)
     return parser
 
 

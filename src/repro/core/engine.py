@@ -17,6 +17,8 @@ omitting it uses an in-memory store (useful for exploration and tests).
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.core.builder import IndexBuilder, UpdateStats
@@ -34,6 +36,10 @@ from repro.executor import ParallelExecutor
 from repro.kvstore import InMemoryStore
 from repro.kvstore.cache import LRUCache
 from repro.kvstore.api import KeyValueStore
+from repro.obs.profile import QueryProfile, profile_from_tracer
+from repro.obs.registry import REGISTRY
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.trace import Tracer, activate, current_tracer
 
 _MODES = ("accurate", "fast", "hybrid")
 _MISS = object()
@@ -57,6 +63,14 @@ class SequenceIndex:
     ``planner`` and ``batched_reads`` toggle the selectivity-driven join
     reordering and the batched ``multi_get`` read path; both exist for the
     planner ablation benchmark and should stay on otherwise.
+
+    Every query API call is timed; with ``slow_query_threshold`` set (in
+    seconds, or via the ``REPRO_SLOW_QUERY_MS`` environment variable) calls
+    at or above the threshold land in :attr:`slow_query_log`.  The engine
+    also registers its caches and write generation with the process-wide
+    metrics registry (``python -m repro metrics``), and
+    ``detect(..., explain_profile=True)`` returns a per-stage
+    :class:`~repro.obs.profile.QueryProfile` alongside the plan.
     """
 
     def __init__(
@@ -69,6 +83,7 @@ class SequenceIndex:
         postings_cache_size: int = 64,
         planner: bool = True,
         batched_reads: bool = True,
+        slow_query_threshold: float | None = None,
     ) -> None:
         self.store = store if store is not None else InMemoryStore()
         self.builder = IndexBuilder(self.store, policy, method, executor)
@@ -86,6 +101,19 @@ class SequenceIndex:
         self.explorer = ContinuationExplorer(self.tables, self.query)
         self._query_cache = LRUCache(query_cache_size) if query_cache_size > 0 else None
         self._generation = 0
+        if slow_query_threshold is None:
+            env_ms = os.environ.get("REPRO_SLOW_QUERY_MS", "").strip()
+            if env_ms:
+                slow_query_threshold = float(env_ms) / 1e3
+        self.slow_query_log = (
+            SlowQueryLog(slow_query_threshold)
+            if slow_query_threshold is not None
+            else None
+        )
+        self._obs_handle = REGISTRY.register(
+            {"index": getattr(self.store, "obs_name", "index")},
+            self._collect_obs_metrics,
+        )
 
     @property
     def policy(self) -> Policy:
@@ -107,6 +135,43 @@ class SequenceIndex:
     def postings_cache_stats(self) -> dict[str, int]:
         """Hit/miss/eviction counters of the decoded-postings cache."""
         return self._postings_cache.stats() if self._postings_cache is not None else {}
+
+    def slow_queries(self) -> list[SlowQueryEntry]:
+        """Recent slow queries (empty when no threshold is configured)."""
+        return self.slow_query_log.entries if self.slow_query_log is not None else []
+
+    def _collect_obs_metrics(self) -> dict[str, float]:
+        """Metrics-registry collector: engine caches, generation, slowlog."""
+        samples: dict[str, float] = {
+            "repro_index_write_generation": self._generation
+        }
+        for prefix, stats in (
+            ("repro_query_cache", self.query_cache_stats()),
+            ("repro_postings_cache", self.postings_cache_stats()),
+        ):
+            if stats:
+                samples[f"{prefix}_hits_total"] = stats.get("hits", 0)
+                samples[f"{prefix}_misses_total"] = stats.get("misses", 0)
+                samples[f"{prefix}_evictions_total"] = stats.get("evictions", 0)
+                samples[f"{prefix}_entries"] = stats.get("entries", 0)
+        if self.slow_query_log is not None:
+            samples["repro_slow_queries_total"] = self.slow_query_log.stats()["slow"]
+        return samples
+
+    def _observe_query(
+        self, kind: str, detail: str, compute: Callable[[], Any]
+    ) -> Any:
+        """Run one query call under a span and the slow-query timer."""
+        span = current_tracer().span(kind)
+        start = time.perf_counter()
+        try:
+            with span:
+                return compute()
+        finally:
+            if self.slow_query_log is not None:
+                self.slow_query_log.observe(
+                    kind, detail, time.perf_counter() - start
+                )
 
     def _cached(self, key: tuple[Hashable, ...], compute: Callable[[], Any]) -> Any:
         """Memoize ``compute()`` under the current write generation.
@@ -169,6 +234,7 @@ class SequenceIndex:
         self.store.flush()
 
     def close(self) -> None:
+        REGISTRY.unregister(self._obs_handle)
         self.store.close()
 
     def __enter__(self) -> "SequenceIndex":
@@ -187,23 +253,56 @@ class SequenceIndex:
         max_matches: int | None = None,
         within: float | None = None,
         explain: bool = False,
-    ) -> list[PatternMatch] | tuple[list[PatternMatch], QueryPlan]:
+        explain_profile: bool = False,
+    ) -> (
+        list[PatternMatch]
+        | tuple[list[PatternMatch], QueryPlan]
+        | tuple[list[PatternMatch], QueryPlan, QueryProfile]
+    ):
         """All completions of ``pattern`` (Algorithm 2).
 
         With ``explain=True`` the return value is ``(matches, plan)`` where
         ``plan`` records the pair cardinalities and join order the planner
         chose; explain calls bypass the query-result cache so the plan
-        always reflects a real execution.
+        always reflects a real execution.  ``explain_profile=True``
+        (implies ``explain``) additionally runs the detection under a fresh
+        tracer and returns ``(matches, plan, profile)``, where ``profile``
+        breaks the call into stages (plan / fetch_postings / intersect /
+        join / materialize).
         """
+        detail = f"pattern={list(pattern)!r} partition={partition!r}"
+        if explain_profile:
+            tracer = Tracer()
+            with activate(tracer):
+                matches = self._observe_query(
+                    "query.detect",
+                    detail,
+                    lambda: self.query.detect(
+                        pattern, partition, policy, max_matches, within
+                    ),
+                )
+            plan = self.explain(pattern, partition)
+            profile = profile_from_tracer(tracer, "query.detect")
+            return matches, plan, profile
         if explain:
             plan = self.explain(pattern, partition)
-            matches = self.query.detect(
-                pattern, partition, policy, max_matches, within
+            matches = self._observe_query(
+                "query.detect",
+                detail,
+                lambda: self.query.detect(
+                    pattern, partition, policy, max_matches, within
+                ),
             )
             return matches, plan
-        return self._cached(
-            ("detect", tuple(pattern), partition, policy, max_matches, within),
-            lambda: self.query.detect(pattern, partition, policy, max_matches, within),
+        return self._observe_query(
+            "query.detect",
+            detail,
+            lambda: self._cached(
+                ("detect", tuple(pattern), partition, policy, max_matches, within),
+                lambda: self.query.detect(
+                    pattern, partition, policy, max_matches, within
+                ),
+            ),
         )
 
     def explain(
@@ -229,9 +328,13 @@ class SequenceIndex:
         within: float | None = None,
     ) -> int:
         """Number of completions of ``pattern``."""
-        return self._cached(
-            ("count", tuple(pattern), partition, within),
-            lambda: self.query.count(pattern, partition, within),
+        return self._observe_query(
+            "query.count",
+            f"pattern={list(pattern)!r} partition={partition!r}",
+            lambda: self._cached(
+                ("count", tuple(pattern), partition, within),
+                lambda: self.query.count(pattern, partition, within),
+            ),
         )
 
     def detect_with_prefixes(
@@ -242,9 +345,13 @@ class SequenceIndex:
 
     def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
         """Ids of traces containing ``pattern``."""
-        return self._cached(
-            ("contains", tuple(pattern), partition),
-            lambda: self.query.contains(pattern, partition),
+        return self._observe_query(
+            "query.contains",
+            f"pattern={list(pattern)!r} partition={partition!r}",
+            lambda: self._cached(
+                ("contains", tuple(pattern), partition),
+                lambda: self.query.contains(pattern, partition),
+            ),
         )
 
     def statistics(self, pattern: Sequence[str], all_pairs: bool = False) -> PatternStats:
@@ -253,9 +360,13 @@ class SequenceIndex:
         ``all_pairs=True`` also reads every non-adjacent pattern pair for a
         tighter completions bound (§3.2.1's accuracy/time trade-off).
         """
-        return self._cached(
-            ("statistics", tuple(pattern), all_pairs),
-            lambda: self.query.statistics(pattern, all_pairs),
+        return self._observe_query(
+            "query.statistics",
+            f"pattern={list(pattern)!r} all_pairs={all_pairs}",
+            lambda: self._cached(
+                ("statistics", tuple(pattern), all_pairs),
+                lambda: self.query.statistics(pattern, all_pairs),
+            ),
         )
 
     def continuations(
@@ -277,8 +388,13 @@ class SequenceIndex:
                 return self.explorer.fast(pattern)
             return self.explorer.hybrid(pattern, top_k, within, partition)
 
-        return self._cached(
-            ("continuations", tuple(pattern), mode, top_k, within, partition), compute
+        return self._observe_query(
+            "query.continuations",
+            f"pattern={list(pattern)!r} mode={mode!r} top_k={top_k}",
+            lambda: self._cached(
+                ("continuations", tuple(pattern), mode, top_k, within, partition),
+                compute,
+            ),
         )
 
     def explore_at(

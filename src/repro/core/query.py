@@ -42,6 +42,7 @@ from repro.core.errors import EmptyPatternError
 from repro.core.matches import PairStats, PatternMatch, PatternStats, QueryPlan
 from repro.core.policies import Policy
 from repro.core.tables import IndexTables
+from repro.obs.trace import current_tracer
 
 Chain = tuple[float, ...]
 
@@ -64,19 +65,26 @@ class _PlannedPostings:
         self._grouped: dict[int, dict[str, list[tuple[float, float]]]] = {}
         self._raw: dict[int, list[tuple[str, float, float]]] = {}
         self._trace_sets: dict[int, set[str]] = {}
-        missing: list[int] = []
-        for i, pair in enumerate(self._pairs):
-            hit = query._postings_cache_get(pair, self._partition)
-            if hit is not None:
-                self._grouped[i] = hit
-            else:
-                missing.append(i)
-        if missing:
-            fetched = query.tables.get_index_many(
-                [self._pairs[i] for i in missing], self._partition
-            )
-            for i in missing:
-                self._raw[i] = fetched[self._pairs[i]]
+        span = current_tracer().span("fetch_postings")
+        with span:
+            missing: list[int] = []
+            for i, pair in enumerate(self._pairs):
+                hit = query._postings_cache_get(pair, self._partition)
+                if hit is not None:
+                    self._grouped[i] = hit
+                else:
+                    missing.append(i)
+            if missing:
+                fetched = query.tables.get_index_many(
+                    [self._pairs[i] for i in missing], self._partition
+                )
+                for i in missing:
+                    self._raw[i] = fetched[self._pairs[i]]
+            if span.enabled:
+                span.add("pairs", len(self._pairs))
+                span.add("cache_hits", len(self._pairs) - len(missing))
+                span.add("fetched", len(missing))
+                span.add("entries", sum(len(raw) for raw in self._raw.values()))
 
     def trace_set(self, i: int) -> set[str]:
         """Trace ids holding at least one completion of pair ``i``."""
@@ -254,20 +262,25 @@ class QueryProcessor:
         """
         if len(pattern) < 2:
             raise EmptyPatternError("planning needs a pattern of length >= 2")
-        pairs = tuple(zip(pattern, pattern[1:]))
-        cardinalities = self._cardinalities(pairs)
-        natural = tuple(range(len(pairs)))
-        order = (
-            _rarest_first_order(cardinalities) if self.planner_enabled else natural
-        )
-        return QueryPlan(
-            pattern=tuple(pattern),
-            pairs=pairs,
-            cardinalities=cardinalities,
-            order=order,
-            reordered=order != natural,
-            partition=partition,
-        )
+        span = current_tracer().span("plan")
+        with span:
+            pairs = tuple(zip(pattern, pattern[1:]))
+            cardinalities = self._cardinalities(pairs)
+            natural = tuple(range(len(pairs)))
+            order = (
+                _rarest_first_order(cardinalities) if self.planner_enabled else natural
+            )
+            if span.enabled:
+                span.add("pairs", len(pairs))
+                span.add("min_cardinality", min(cardinalities, default=0))
+            return QueryPlan(
+                pattern=tuple(pattern),
+                pairs=pairs,
+                cardinalities=cardinalities,
+                order=order,
+                reordered=order != natural,
+                partition=partition,
+            )
 
     def _cardinalities(self, pairs: tuple[tuple[str, str], ...]) -> tuple[int, ...]:
         """Exact completion counts per pair, through the Count-row cache."""
@@ -317,11 +330,15 @@ class QueryProcessor:
             matches = self._detect_single(pattern[0])
         else:
             chains = self._chain(pattern, partition)
-            matches = [
-                PatternMatch(trace_id, chain)
-                for trace_id, trace_chains in sorted(chains.items())
-                for chain in trace_chains
-            ]
+            span = current_tracer().span("materialize")
+            with span:
+                matches = [
+                    PatternMatch(trace_id, chain)
+                    for trace_id, trace_chains in sorted(chains.items())
+                    for chain in trace_chains
+                ]
+                if span.enabled:
+                    span.add("matches", len(matches))
         if within is not None:
             matches = [m for m in matches if m.duration <= within]
         return matches
@@ -480,15 +497,22 @@ class QueryProcessor:
         intersection no larger than the smallest one seen so far, and an
         empty result aborts before any posting list is decoded or grouped.
         """
-        survivors: set[str] | None = None
-        for i in sorted(
-            range(len(plan.pairs)), key=lambda i: (plan.cardinalities[i], i)
-        ):
-            traces = postings.trace_set(i)
-            survivors = set(traces) if survivors is None else survivors & traces
-            if not survivors:
-                return set()
-        return survivors or set()
+        span = current_tracer().span("intersect")
+        with span:
+            survivors: set[str] | None = None
+            for i in sorted(
+                range(len(plan.pairs)), key=lambda i: (plan.cardinalities[i], i)
+            ):
+                traces = postings.trace_set(i)
+                survivors = set(traces) if survivors is None else survivors & traces
+                if not survivors:
+                    survivors = set()
+                    break
+            result = survivors or set()
+            if span.enabled:
+                span.add("sets", len(plan.pairs))
+                span.add("survivors", len(result))
+            return result
 
     def _chain_planned(
         self, pattern: Sequence[str], partition: str | None
@@ -510,53 +534,61 @@ class QueryProcessor:
         survivors = self._intersect_candidates(plan, postings)
         if not survivors:
             return {}
-        order = plan.order
-        start = order[0]
-        grouped = postings.group(start, survivors)
-        chains: dict[str, list[Chain]] = {}
-        for trace_id in survivors:
-            entries = grouped.get(trace_id)
-            if entries:
-                chains[trace_id] = [tuple(entry) for entry in entries]
-        left = right = start
-        for idx in order[1:]:
-            if not chains:
-                break
-            frontier = set(chains)
-            step_grouped = postings.group(idx, frontier)
-            extended: dict[str, list[Chain]] = {}
-            if idx > right:
-                for trace_id, trace_chains in chains.items():
-                    completions = step_grouped.get(trace_id)
-                    if not completions:
-                        continue
-                    by_first = dict(completions)
-                    new_chains = []
-                    for chain in trace_chains:
-                        ts_b = by_first.get(chain[-1])
-                        if ts_b is not None:
-                            new_chains.append(chain + (ts_b,))
-                    if new_chains:
-                        extended[trace_id] = new_chains
-                right = idx
-            else:
-                for trace_id, trace_chains in chains.items():
-                    completions = step_grouped.get(trace_id)
-                    if not completions:
-                        continue
-                    by_second = {ts_b: ts_a for ts_a, ts_b in completions}
-                    new_chains = []
-                    for chain in trace_chains:
-                        ts_a = by_second.get(chain[0])
-                        if ts_a is not None:
-                            new_chains.append((ts_a,) + chain)
-                    if new_chains:
-                        extended[trace_id] = new_chains
-                left = idx
-            chains = extended
-        for trace_chains in chains.values():
-            trace_chains.sort()
-        return chains
+        span = current_tracer().span("join")
+        with span:
+            order = plan.order
+            start = order[0]
+            grouped = postings.group(start, survivors)
+            chains: dict[str, list[Chain]] = {}
+            for trace_id in survivors:
+                entries = grouped.get(trace_id)
+                if entries:
+                    chains[trace_id] = [tuple(entry) for entry in entries]
+            left = right = start
+            for idx in order[1:]:
+                if not chains:
+                    break
+                frontier = set(chains)
+                step_grouped = postings.group(idx, frontier)
+                extended: dict[str, list[Chain]] = {}
+                if idx > right:
+                    for trace_id, trace_chains in chains.items():
+                        completions = step_grouped.get(trace_id)
+                        if not completions:
+                            continue
+                        by_first = dict(completions)
+                        new_chains = []
+                        for chain in trace_chains:
+                            ts_b = by_first.get(chain[-1])
+                            if ts_b is not None:
+                                new_chains.append(chain + (ts_b,))
+                        if new_chains:
+                            extended[trace_id] = new_chains
+                    right = idx
+                else:
+                    for trace_id, trace_chains in chains.items():
+                        completions = step_grouped.get(trace_id)
+                        if not completions:
+                            continue
+                        by_second = {ts_b: ts_a for ts_a, ts_b in completions}
+                        new_chains = []
+                        for chain in trace_chains:
+                            ts_a = by_second.get(chain[0])
+                            if ts_a is not None:
+                                new_chains.append((ts_a,) + chain)
+                        if new_chains:
+                            extended[trace_id] = new_chains
+                    left = idx
+                chains = extended
+            for trace_chains in chains.values():
+                trace_chains.sort()
+            if span.enabled:
+                span.add("steps", len(order))
+                span.add("traces", len(chains))
+                span.add(
+                    "chains", sum(len(trace_chains) for trace_chains in chains.values())
+                )
+            return chains
 
     def _chain_left_to_right(
         self,
@@ -565,6 +597,18 @@ class QueryProcessor:
         snapshots: dict[int, list[PatternMatch]] | None = None,
     ) -> dict[str, list[Chain]]:
         """Naive left-to-right join (the explicit plan behind prefixes)."""
+        span = current_tracer().span("join")
+        if span.enabled:
+            span.tag(order="left_to_right")
+        with span:
+            return self._chain_left_to_right_inner(pattern, partition, snapshots)
+
+    def _chain_left_to_right_inner(
+        self,
+        pattern: Sequence[str],
+        partition: str | None,
+        snapshots: dict[int, list[PatternMatch]] | None = None,
+    ) -> dict[str, list[Chain]]:
         first_pair = (pattern[0], pattern[1])
         grouped = self._grouped_full(first_pair, partition)
         previous: dict[str, list[Chain]] = {

@@ -94,6 +94,8 @@ def _encode_int(out: bytearray, value: int) -> None:
 
 
 def _encode_float(out: bytearray, value: float) -> None:
+    if value == 0.0:
+        value = 0.0  # canonicalize -0.0: equal floats must encode identically
     raw = struct.unpack(">Q", struct.pack(">d", value))[0]
     if raw & (1 << 63):
         raw ^= (1 << 64) - 1  # negative: flip everything

@@ -82,6 +82,8 @@ from repro.kvstore.memtable import (
 from repro.kvstore.merge import MergeOperator, resolve_merge_operator
 from repro.kvstore.sstable import SSTableReader, SSTableWriter
 from repro.kvstore.wal import KIND_DELETE, KIND_MERGE, KIND_PUT, WriteAheadLog
+from repro.obs.registry import REGISTRY, store_samples
+from repro.obs.trace import current_tracer
 
 _TABLE_PREFIX = struct.Struct(">H")
 MANIFEST_NAME = "MANIFEST"
@@ -109,6 +111,16 @@ class StoreMetrics:
     concurrent readers do not serialize on a shared metrics mutex.
     :meth:`snapshot` (and attribute reads like ``metrics.gets``) aggregate
     the shards; a shard outlives its thread, so no counts are ever dropped.
+
+    **Snapshot consistency** (see ``docs/METRICS.md``): :meth:`snapshot`
+    copies each shard *atomically* in a single pass (one C-level dict copy
+    per shard under the GIL), so per-thread counter relationships are
+    preserved -- if a thread always bumps counter A before counter B, no
+    snapshot can ever show B ahead of A.  Counters bumped at different
+    times by *different* threads carry no such guarantee (the shard copies
+    are taken a few microseconds apart), and two attribute reads like
+    ``metrics.gets``/``metrics.bloom_skips`` each take their own snapshot;
+    use one :meth:`snapshot` call when related counters must be compared.
     """
 
     _COUNTERS = (
@@ -149,10 +161,23 @@ class StoreMetrics:
         self._shard()[name] += amount
 
     def snapshot(self) -> dict[str, int]:
-        """Current counter values as a plain dict (sums all shards)."""
+        """Current counter values as a plain dict (sums all shards).
+
+        Single-pass: every shard is captured once with an atomic dict copy
+        (``dict(shard)`` runs entirely in C under the GIL), so a shard's
+        counters are mutually consistent -- a writer's bump sequence can
+        never be observed out of order within its own shard.  The previous
+        counter-major aggregation re-read each shard once per counter,
+        which could tear related counters (e.g. report more
+        ``sstable_reads`` than ``gets``); the shard-major pass cannot.
+        """
         with self._registry_lock:
-            shards = list(self._shards)
-        return {name: sum(shard[name] for shard in shards) for name in self._COUNTERS}
+            copies = [dict(shard) for shard in self._shards]
+        totals = dict.fromkeys(self._COUNTERS, 0)
+        for copy in copies:
+            for name, value in copy.items():
+                totals[name] += value
+        return totals
 
     def __getattr__(self, name: str) -> int:
         # Keep `metrics.gets`-style reads working over the sharded layout.
@@ -214,6 +239,11 @@ class LSMStore(KeyValueStore):
         self._replay_wal()
         self._wal = WriteAheadLog(os.path.join(path, WAL_NAME), sync=sync_wal)
         self._compactor = BackgroundCompactor(self) if background_compaction else None
+        #: identity used in metrics exposition labels
+        self.obs_name = path
+        self._obs_handle = REGISTRY.register(
+            {"store": self.obs_name, "backend": "lsm"}, self._collect_obs_metrics
+        )
 
     # -- manifest and recovery -------------------------------------------------
 
@@ -437,7 +467,9 @@ class LSMStore(KeyValueStore):
         key_list = list(keys)
         self.metrics.bump("multi_get_batches")
         self.metrics.bump("gets", len(key_list))
-        with self._state_lock.read():
+        span = current_tracer().span("lsm.multi_get")
+        bloom_skipped = sstable_probes = memtable_resolved = 0
+        with span, self._state_lock.read():
             self._check_open()
             operator = self._merge_ops.get(self._table_id(table))
             full_by_norm: dict[Key, bytes] = {}
@@ -484,6 +516,7 @@ class LSMStore(KeyValueStore):
                             )
                         )
                         unresolved.discard(full_key)
+            memtable_resolved = len(resolved)
             for reader in reversed(self._sstables):
                 if not unresolved:
                     break
@@ -493,10 +526,12 @@ class LSMStore(KeyValueStore):
                         candidates.append(full_key)
                     else:
                         self.metrics.bump("bloom_skips")
+                        bloom_skipped += 1
                 if not candidates:
                     continue
                 candidates.sort()
                 self.metrics.bump("sstable_reads", len(candidates))
+                sstable_probes += len(candidates)
                 records = reader.get_many(candidates)
                 for full_key in candidates:
                     record = records.get(full_key)
@@ -524,6 +559,12 @@ class LSMStore(KeyValueStore):
                         None, list(reversed(deltas))
                     )
                 )
+            if span.enabled:
+                span.add("keys", len(key_list))
+                span.add("unique_keys", len(full_by_norm))
+                span.add("memtable_resolved", memtable_resolved)
+                span.add("bloom_skips", bloom_skipped)
+                span.add("sstable_reads", sstable_probes)
         return [resolved[full_by_norm[norm]] for norm in norm_keys]
 
     def scan(
@@ -698,13 +739,18 @@ class LSMStore(KeyValueStore):
         writer = SSTableWriter(
             os.path.join(self._path, filename), expected_records=len(sealed)
         )
+        span = current_tracer().span("lsm.flush")
         try:
-            for key, entry in sealed.iter_sorted():
-                record = _flush_entry(entry, self._operator_for_full_key(key))
-                if record is not None:
-                    kind, value = record
-                    writer.add(key, kind, value)
-            reader = writer.finish(cache=self._block_cache)
+            with span:
+                for key, entry in sealed.iter_sorted():
+                    record = _flush_entry(entry, self._operator_for_full_key(key))
+                    if record is not None:
+                        kind, value = record
+                        writer.add(key, kind, value)
+                reader = writer.finish(cache=self._block_cache)
+                if span.enabled:
+                    span.add("entries", len(sealed))
+                    span.add("bytes", reader.data_bytes)
         except BaseException:
             writer.abort()
             raise
@@ -773,12 +819,18 @@ class LSMStore(KeyValueStore):
             os.path.join(self._path, filename),
             expected_records=sum(r.record_count for r in run),
         )
+        span = current_tracer().span("lsm.compaction")
         try:
-            for kind, key, value in merge_records(
-                run, self._operator_for_full_key, finalize
-            ):
-                writer.add(key, kind, value)
-            merged = writer.finish(cache=self._block_cache)
+            with span:
+                for kind, key, value in merge_records(
+                    run, self._operator_for_full_key, finalize
+                ):
+                    writer.add(key, kind, value)
+                merged = writer.finish(cache=self._block_cache)
+                if span.enabled:
+                    span.add("inputs", len(run))
+                    span.add("input_bytes", sum(r.data_bytes for r in run))
+                    span.add("output_bytes", merged.data_bytes)
         except BaseException:
             writer.abort()
             raise
@@ -815,6 +867,7 @@ class LSMStore(KeyValueStore):
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
+        REGISTRY.unregister(self._obs_handle)
         with self._state_lock.write():
             if self._closed:
                 return
@@ -856,6 +909,20 @@ class LSMStore(KeyValueStore):
     def cache_stats(self) -> dict[str, int]:
         """Block-cache counters (empty dict when the cache is disabled)."""
         return self._block_cache.stats() if self._block_cache is not None else {}
+
+    def _collect_obs_metrics(self) -> dict[str, float]:
+        """Metrics-registry collector: one consistent store sample."""
+        with self._state_lock.read():
+            if self._closed:
+                return {}
+            sstables = len(self._sstables)
+            tables = len(self._tables)
+        return store_samples(
+            self.metrics.snapshot(),
+            sstables=sstables,
+            tables=tables,
+            cache_stats=self.cache_stats(),
+        )
 
     def _check_open(self) -> None:
         if self._closed:

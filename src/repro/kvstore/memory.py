@@ -20,6 +20,8 @@ from repro.kvstore.api import (
 from repro.kvstore.encoding import Key, KeyPart, encode_key
 from repro.kvstore.lsm import StoreMetrics
 from repro.kvstore.merge import MergeOperator, resolve_merge_operator
+from repro.obs.registry import REGISTRY, store_samples
+from repro.obs.trace import current_tracer
 
 
 class InMemoryStore(KeyValueStore):
@@ -34,6 +36,9 @@ class InMemoryStore(KeyValueStore):
     re-entrant lock makes every operation atomic, which trivially satisfies
     the LSM store's concurrency contract.
     """
+
+    _counter_lock = threading.Lock()
+    _instances = 0
 
     def __init__(
         self,
@@ -52,6 +57,13 @@ class InMemoryStore(KeyValueStore):
         self._lock = threading.RLock()
         self._closed = False
         self.metrics = StoreMetrics()
+        with InMemoryStore._counter_lock:
+            InMemoryStore._instances += 1
+            #: identity used in metrics exposition labels
+            self.obs_name = f"memory-{InMemoryStore._instances}"
+        self._obs_handle = REGISTRY.register(
+            {"store": self.obs_name, "backend": "memory"}, self._collect_obs_metrics
+        )
 
     # -- table management -----------------------------------------------------
 
@@ -123,8 +135,12 @@ class InMemoryStore(KeyValueStore):
         key_list = list(keys)
         self.metrics.bump("multi_get_batches")
         self.metrics.bump("gets", len(key_list))
-        with self._lock:
+        span = current_tracer().span("memory.multi_get")
+        with span, self._lock:
             raw = [data.get(normalize_key(key), _MISSING) for key in key_list]
+            if span.enabled:
+                span.add("keys", len(key_list))
+                span.add("hits", sum(1 for value in raw if value is not _MISSING))
         return [default if value is _MISSING else _copy_value(value) for value in raw]
 
     def delete(self, table: str, key: KeyPart | Key) -> None:
@@ -176,7 +192,16 @@ class InMemoryStore(KeyValueStore):
         self._check_open()
 
     def close(self) -> None:
+        REGISTRY.unregister(self._obs_handle)
         self._closed = True
+
+    def _collect_obs_metrics(self) -> dict[str, float]:
+        """Metrics-registry collector: one consistent store sample."""
+        if self._closed:
+            return {}
+        with self._lock:
+            tables = len(self._tables)
+        return store_samples(self.metrics.snapshot(), tables=tables)
 
     # -- internals ---------------------------------------------------------------
 

@@ -1,0 +1,49 @@
+"""Observability substrate: tracing, metrics exposition, slow-query log.
+
+Three pieces, documented for operators in ``docs/METRICS.md`` and
+``docs/OPERATIONS.md``:
+
+* :mod:`repro.obs.trace` -- a structured tracer of nestable spans
+  (wall/CPU time, counters, tags) threaded through the query processor,
+  the LSM store's batched read path, and flush/compaction.  Disabled by
+  default at effectively zero cost; activated per query by
+  ``SequenceIndex.detect(..., explain_profile=True)`` and per experiment
+  by ``repro.bench.runner``.
+* :mod:`repro.obs.registry` -- a process-wide :class:`MetricsRegistry`
+  aggregating every live store's :class:`~repro.kvstore.lsm.StoreMetrics`
+  (and the engine's caches) into consistent snapshots with
+  Prometheus-style text exposition (``python -m repro metrics``).
+* :mod:`repro.obs.slowlog` -- a bounded log of queries slower than a
+  configurable threshold (``SequenceIndex(slow_query_threshold=...)`` or
+  ``REPRO_SLOW_QUERY_MS``).
+"""
+
+from repro.obs.profile import QueryProfile, StageTiming, profile_from_tracer
+from repro.obs.registry import METRIC_CATALOG, REGISTRY, MetricsRegistry, store_samples
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "activate",
+    "current_tracer",
+    "QueryProfile",
+    "StageTiming",
+    "profile_from_tracer",
+    "MetricsRegistry",
+    "METRIC_CATALOG",
+    "REGISTRY",
+    "store_samples",
+    "SlowQueryLog",
+    "SlowQueryEntry",
+]

@@ -1,0 +1,103 @@
+"""Per-query stage profiles built from a tracer's span tree.
+
+The engine's ``explain_profile=True`` runs one query under a fresh
+:class:`~repro.obs.trace.Tracer` and condenses the result into a
+:class:`QueryProfile`: the root span's direct children become *stages*
+(``plan``, ``fetch_postings``, ``intersect``, ``join``, ``materialize``,
+with store-level spans like ``lsm.multi_get`` nested beneath them), so the
+breakdown answers the paper's §5 question -- where does query time go --
+for a single execution.  Stage wall times are measured inside the root
+span, so ``accounted_fraction`` is always in ``[0, 1]``; the remainder is
+untraced glue (cache lookups, result copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.trace import Tracer
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One top-level stage of a profiled query."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+    counters: tuple[tuple[str, int], ...] = ()
+
+    def describe(self) -> str:
+        extras = " ".join(f"{key}={value}" for key, value in self.counters)
+        return (
+            f"{self.name:<16} wall={self.wall_s * 1e3:8.3f}ms "
+            f"cpu={self.cpu_s * 1e3:8.3f}ms" + (f"  {extras}" if extras else "")
+        )
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Stage breakdown of one query execution (``explain_profile=True``)."""
+
+    query: str
+    total_wall_s: float
+    total_cpu_s: float
+    stages: tuple[StageTiming, ...]
+    span_count: int
+
+    @property
+    def accounted_wall_s(self) -> float:
+        """Wall time covered by the stages (the rest is untraced glue)."""
+        return sum(stage.wall_s for stage in self.stages)
+
+    @property
+    def accounted_fraction(self) -> float:
+        """``accounted_wall_s / total_wall_s`` (0.0 for an instant query)."""
+        if self.total_wall_s <= 0:
+            return 0.0
+        return min(1.0, self.accounted_wall_s / self.total_wall_s)
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Stage name -> total wall seconds (stages of one name summed)."""
+        out: dict[str, float] = {}
+        for stage in self.stages:
+            out[stage.name] = out.get(stage.name, 0.0) + stage.wall_s
+        return out
+
+    def describe(self) -> str:
+        """Multi-line rendering for ``detect --profile`` output."""
+        lines = [
+            f"{self.query}: wall={self.total_wall_s * 1e3:.3f}ms "
+            f"cpu={self.total_cpu_s * 1e3:.3f}ms "
+            f"({self.accounted_fraction:.0%} accounted in "
+            f"{len(self.stages)} stages, {self.span_count} spans)"
+        ]
+        lines.extend(f"  {stage.describe()}" for stage in self.stages)
+        return "\n".join(lines)
+
+
+def profile_from_tracer(tracer: Tracer, root_name: str) -> QueryProfile:
+    """Condense ``tracer``'s spans into a :class:`QueryProfile`.
+
+    The first recorded span named ``root_name`` is the query; its direct
+    children (in execution order) become the stages.
+    """
+    root = next((span for span in tracer.spans if span.name == root_name), None)
+    if root is None:
+        return QueryProfile(root_name, 0.0, 0.0, (), len(tracer.spans))
+    stages = tuple(
+        StageTiming(
+            name=child.name,
+            wall_s=child.wall_s,
+            cpu_s=child.cpu_s,
+            counters=tuple(sorted(child.counters.items())),
+        )
+        for child in tracer.children(root)
+    )
+    return QueryProfile(
+        query=root_name,
+        total_wall_s=root.wall_s,
+        total_cpu_s=root.cpu_s,
+        stages=stages,
+        span_count=len(tracer.spans) + tracer.dropped,
+    )

@@ -1,0 +1,224 @@
+"""Process-wide metrics registry with Prometheus-style text exposition.
+
+Every store (and every :class:`~repro.core.engine.SequenceIndex`) registers
+a *collector* -- a zero-argument callable returning ``{exposition_name:
+value}`` samples -- labelled with its identity.  :meth:`MetricsRegistry.render`
+then produces the standard text format::
+
+    # HELP repro_store_gets_total Point reads served (each multi_get key counts once).
+    # TYPE repro_store_gets_total counter
+    repro_store_gets_total{backend="lsm",store="/data/ix"} 1042
+
+Collectors are held through :class:`weakref.WeakMethod`, so a store that is
+garbage-collected without ``close()`` simply disappears from the next
+collection instead of leaking; ``close()`` unregisters eagerly.  Every
+exposition name must appear in :data:`METRIC_CATALOG` (type + help text),
+and the doc-coverage test (`tests/test_docs.py`) requires each catalogued
+name and each raw ``StoreMetrics`` counter to be documented in
+``docs/METRICS.md`` -- adding a counter without documenting it fails CI.
+
+The module-level :data:`REGISTRY` is the default registry used by the
+stores, the engine, and ``python -m repro metrics``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Callable
+
+#: exposition name -> (prometheus type, help text).  ``*_total`` names are
+#: monotonic counters; bare names are point-in-time gauges.
+METRIC_CATALOG: dict[str, tuple[str, str]] = {
+    # -- StoreMetrics counters (one exposition line per counter) ------------
+    "repro_store_puts_total": ("counter", "put() writes accepted."),
+    "repro_store_merges_total": ("counter", "merge() delta writes accepted."),
+    "repro_store_deletes_total": ("counter", "delete() tombstone writes."),
+    "repro_store_gets_total": (
+        "counter",
+        "Point reads served (each multi_get key counts once).",
+    ),
+    "repro_store_scans_total": ("counter", "scan()/scan_range() calls."),
+    "repro_store_flushes_total": ("counter", "Memtable flushes persisted."),
+    "repro_store_compactions_total": ("counter", "Compaction rounds swapped in."),
+    "repro_store_compaction_aborts_total": (
+        "counter",
+        "Compactions discarded by the pre-swap integrity check.",
+    ),
+    "repro_store_bloom_skips_total": (
+        "counter",
+        "SSTables skipped by a negative bloom-filter probe.",
+    ),
+    "repro_store_sstable_reads_total": (
+        "counter",
+        "SSTable point probes that passed the bloom filter.",
+    ),
+    "repro_store_block_cache_hits_total": ("counter", "Block-cache hits."),
+    "repro_store_block_cache_misses_total": ("counter", "Block-cache misses."),
+    "repro_store_multi_get_batches_total": ("counter", "Batched multi_get calls."),
+    "repro_store_postings_cache_hits_total": (
+        "counter",
+        "Decoded-postings cache hits (bumped by the query layer).",
+    ),
+    "repro_store_postings_cache_misses_total": (
+        "counter",
+        "Decoded-postings cache misses (bumped by the query layer).",
+    ),
+    "repro_store_planner_reorders_total": (
+        "counter",
+        "Executed plans that deviated from left-to-right order.",
+    ),
+    # -- store shape gauges -------------------------------------------------
+    "repro_store_sstables": ("gauge", "Live SSTables on disk."),
+    "repro_store_tables": ("gauge", "Logical tables created."),
+    # -- block cache occupancy ---------------------------------------------
+    "repro_block_cache_entries": ("gauge", "Blocks currently cached."),
+    "repro_block_cache_bytes": ("gauge", "Bytes currently cached."),
+    "repro_block_cache_evictions_total": ("counter", "Blocks evicted by LRU."),
+    # -- engine caches ------------------------------------------------------
+    "repro_query_cache_hits_total": ("counter", "Query-result cache hits."),
+    "repro_query_cache_misses_total": ("counter", "Query-result cache misses."),
+    "repro_query_cache_evictions_total": ("counter", "Query-result cache evictions."),
+    "repro_query_cache_entries": ("gauge", "Query-result cache entries."),
+    "repro_postings_cache_hits_total": ("counter", "Postings-LRU hits."),
+    "repro_postings_cache_misses_total": ("counter", "Postings-LRU misses."),
+    "repro_postings_cache_evictions_total": ("counter", "Postings-LRU evictions."),
+    "repro_postings_cache_entries": ("gauge", "Postings-LRU entries."),
+    # -- engine state -------------------------------------------------------
+    "repro_index_write_generation": (
+        "gauge",
+        "Write generation (query-cache epoch) of the index.",
+    ),
+    # -- slow-query log -----------------------------------------------------
+    "repro_slow_queries_total": (
+        "counter",
+        "Queries that exceeded the slow-query threshold.",
+    ),
+}
+
+Collector = Callable[[], dict[str, float]]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class MetricsRegistry:
+    """Named collection of metric sources; renders consistent snapshots.
+
+    A *collection* calls every live collector exactly once and assembles
+    all samples before rendering, so one exposition document is internally
+    consistent per source (each source contributes one atomic
+    ``StoreMetrics.snapshot()`` -- see ``docs/METRICS.md`` for the exact
+    guarantee).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: dict[int, tuple[dict[str, str], Any]] = {}
+        self._next_handle = 1
+
+    def register(self, labels: dict[str, str], collector: Collector) -> int:
+        """Add a metric source; returns a handle for :meth:`unregister`.
+
+        Bound methods are held weakly (via their ``__self__``), plain
+        callables strongly.
+        """
+        ref: Any
+        if hasattr(collector, "__self__"):
+            ref = weakref.WeakMethod(collector)  # type: ignore[arg-type]
+        else:
+            ref = collector
+        with self._lock:
+            handle = self._next_handle
+            self._next_handle += 1
+            self._sources[handle] = (dict(labels), ref)
+        return handle
+
+    def unregister(self, handle: int) -> None:
+        with self._lock:
+            self._sources.pop(handle, None)
+
+    def collect(self) -> dict[str, list[tuple[dict[str, str], float]]]:
+        """One sample pass: ``{name: [(labels, value), ...]}``, pruning
+        sources whose owner was garbage-collected or raised on collect."""
+        with self._lock:
+            sources = list(self._sources.items())
+        samples: dict[str, list[tuple[dict[str, str], float]]] = {}
+        dead: list[int] = []
+        for handle, (labels, ref) in sources:
+            collector = ref() if isinstance(ref, weakref.WeakMethod) else ref
+            if collector is None:
+                dead.append(handle)
+                continue
+            try:
+                source_samples = collector()
+            except Exception:
+                dead.append(handle)  # closed mid-collect: drop the source
+                continue
+            for name, value in source_samples.items():
+                samples.setdefault(name, []).append((labels, value))
+        if dead:
+            with self._lock:
+                for handle in dead:
+                    self._sources.pop(handle, None)
+        return samples
+
+    def render(self) -> str:
+        """Prometheus text exposition of one consistent collection pass."""
+        samples = self.collect()
+        lines: list[str] = []
+        for name in sorted(samples):
+            metric_type, help_text = METRIC_CATALOG.get(
+                name, ("untyped", "Undocumented metric.")
+            )
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {metric_type}")
+            rows = sorted(
+                samples[name], key=lambda item: sorted(item[0].items())
+            )
+            for labels, value in rows:
+                if labels:
+                    label_body = ",".join(
+                        f'{key}="{_escape_label(str(val))}"'
+                        for key, val in sorted(labels.items())
+                    )
+                    lines.append(f"{name}{{{label_body}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def store_samples(
+    metrics_snapshot: dict[str, int],
+    sstables: int | None = None,
+    tables: int | None = None,
+    cache_stats: dict[str, int] | None = None,
+) -> dict[str, float]:
+    """Map a :class:`~repro.kvstore.lsm.StoreMetrics` snapshot (plus shape
+    gauges and block-cache occupancy) to exposition names."""
+    samples: dict[str, float] = {
+        f"repro_store_{name}_total": value
+        for name, value in metrics_snapshot.items()
+    }
+    if sstables is not None:
+        samples["repro_store_sstables"] = sstables
+    if tables is not None:
+        samples["repro_store_tables"] = tables
+    if cache_stats:
+        samples["repro_block_cache_entries"] = cache_stats.get("entries", 0)
+        samples["repro_block_cache_bytes"] = cache_stats.get("weight", 0)
+        samples["repro_block_cache_evictions_total"] = cache_stats.get("evictions", 0)
+    return samples
+
+
+#: the default process-wide registry
+REGISTRY = MetricsRegistry()

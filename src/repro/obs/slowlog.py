@@ -1,0 +1,84 @@
+"""Slow-query log: record queries whose wall time crosses a threshold.
+
+Attached to the engine via ``SequenceIndex(slow_query_threshold=...)`` (or
+the ``REPRO_SLOW_QUERY_MS`` environment variable); every query API call is
+timed, and calls at or above the threshold are appended to a bounded ring
+and echoed to the ``repro.slowlog`` standard logger at WARNING level.  The
+ring keeps the most recent ``capacity`` entries so a long-running server
+can always answer "what was slow lately" without unbounded growth.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+_LOGGER = logging.getLogger("repro.slowlog")
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One recorded slow query."""
+
+    query: str  #: query kind, e.g. ``query.detect``
+    detail: str  #: pattern / arguments rendering
+    wall_s: float  #: measured wall time of the call
+    recorded_at: float = field(default_factory=time.time)  #: unix timestamp
+
+    def describe(self) -> str:
+        return f"{self.query} {self.detail} took {self.wall_s * 1e3:.1f}ms"
+
+
+class SlowQueryLog:
+    """Thread-safe bounded log of queries slower than ``threshold_s``."""
+
+    def __init__(
+        self,
+        threshold_s: float,
+        capacity: int = 128,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        if threshold_s < 0:
+            raise ValueError("slow-query threshold must be non-negative")
+        if capacity <= 0:
+            raise ValueError("slow-query log capacity must be positive")
+        self.threshold_s = threshold_s
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._logger = logger if logger is not None else _LOGGER
+        self._observed = 0
+        self._recorded = 0
+
+    def observe(self, query: str, detail: str, wall_s: float) -> bool:
+        """Record the call if it crossed the threshold; returns whether it did."""
+        with self._lock:
+            self._observed += 1
+            if wall_s < self.threshold_s:
+                return False
+            entry = SlowQueryEntry(query=query, detail=detail, wall_s=wall_s)
+            self._entries.append(entry)
+            self._recorded += 1
+        self._logger.warning("slow query: %s", entry.describe())
+        return True
+
+    @property
+    def entries(self) -> list[SlowQueryEntry]:
+        """Most recent slow queries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counters: calls observed, slow calls recorded, entries retained."""
+        with self._lock:
+            return {
+                "observed": self._observed,
+                "slow": self._recorded,
+                "retained": len(self._entries),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,256 @@
+"""Lightweight structured tracer: nestable spans, near-zero cost when off.
+
+A :class:`Tracer` records a tree of **spans** -- named, tagged intervals
+with wall-clock and thread-CPU time plus free-form integer counters.  Code
+never holds a tracer directly; it asks for the *ambient* one::
+
+    from repro.obs import current_tracer
+
+    with current_tracer().span("lsm.multi_get") as span:
+        ...
+        span.add("keys", len(keys))
+
+By default the ambient tracer is :data:`NULL_TRACER`, whose ``span()``
+returns a shared no-op singleton: the disabled hot path performs one
+context-variable read, one method call, and **zero allocations** (pinned by
+a test, and benchmarked at well under 2% on the planner benchmark -- see
+``docs/METRICS.md``).  A real tracer is installed for the duration of a
+``with activate(tracer):`` block -- per-query by the engine's
+``explain_profile``, per-experiment by ``repro.bench.runner``.
+
+The context variable is per-thread (and per-``contextvars`` context), so a
+tracer only ever records from the thread that activated it; background
+flush/compaction workers stay untraced unless they activate their own.
+A tracer is therefore single-threaded by construction and takes no locks.
+
+Spans are capped at ``max_spans`` to bound memory on long experiment runs;
+beyond the cap, per-name aggregates (:meth:`Tracer.summary`) keep counting
+while the detailed tree stops growing (``dropped`` records how many).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed interval in a trace.  Use only as a context manager.
+
+    ``wall_s``/``cpu_s`` are filled in at exit; ``counters`` accumulates
+    :meth:`add` calls; ``tags`` holds the keyword arguments given to
+    :meth:`Tracer.span` plus later :meth:`tag` calls.
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "tags",
+        "depth",
+        "index",
+        "parent_index",
+        "counters",
+        "wall_s",
+        "cpu_s",
+        "_t0",
+        "_c0",
+    )
+
+    #: class-level so ``span.enabled`` needs no per-instance storage
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", name: str, tags: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.depth = 0
+        self.index = -1
+        self.parent_index = -1
+        self.counters: dict[str, int] = {}
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        """Accumulate an integer counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def tag(self, **tags: Any) -> None:
+        """Attach (or overwrite) tags after the span was opened."""
+        self.tags.update(tags)
+
+    def __enter__(self) -> "Span":
+        self.tracer._enter(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.thread_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.thread_time() - self._c0
+        self.tracer._exit(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_s:.6f}s, {self.counters})"
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def add(self, counter: str, amount: int = 1) -> None:
+        pass
+
+    def tag(self, **tags: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the same allocation-free no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **tags: Any) -> _NullSpan:
+        # NOTE: calling with keyword tags allocates the kwargs dict even
+        # here; hot paths pass only the name and set tags via span.tag()
+        # (a no-op on the null span) to stay allocation-free when disabled.
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans from the thread that activated it.
+
+    ``spans`` lists spans in *opening* order (pre-order of the tree);
+    ``summary()`` aggregates totals per span name and is maintained even
+    for spans dropped by the ``max_spans`` cap.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        # name -> [calls, total wall, total cpu, aggregated counters]
+        self._aggregate: dict[str, list[Any]] = {}
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a new span; must be used as a context manager."""
+        return Span(self, name, tags)
+
+    # -- span lifecycle (called by Span) ------------------------------------
+
+    def _enter(self, span: Span) -> None:
+        parent = self._stack[-1] if self._stack else None
+        span.depth = parent.depth + 1 if parent is not None else 0
+        span.parent_index = parent.index if parent is not None else -1
+        if len(self.spans) < self.max_spans:
+            span.index = len(self.spans)
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # mis-nested exit: drop up to the span
+            while self._stack.pop() is not span:
+                pass
+        agg = self._aggregate.get(span.name)
+        if agg is None:
+            agg = self._aggregate[span.name] = [0, 0.0, 0.0, {}]
+        agg[0] += 1
+        agg[1] += span.wall_s
+        agg[2] += span.cpu_s
+        for counter, amount in span.counters.items():
+            agg[3][counter] = agg[3].get(counter, 0) + amount
+
+    # -- reporting ----------------------------------------------------------
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span`` among the recorded spans."""
+        return [s for s in self.spans if s.parent_index == span.index]
+
+    def summary(self) -> list[tuple[str, int, float, float, dict[str, int]]]:
+        """Per-name aggregates ``(name, calls, wall_s, cpu_s, counters)``,
+        heaviest total wall time first."""
+        rows = [
+            (name, agg[0], agg[1], agg[2], dict(agg[3]))
+            for name, agg in self._aggregate.items()
+        ]
+        rows.sort(key=lambda row: -row[2])
+        return rows
+
+    def format_summary(self) -> str:
+        """Fixed-width per-span-name aggregate table."""
+        lines = [
+            f"{'span':<28} {'calls':>8} {'wall_s':>10} {'cpu_s':>10}  counters"
+        ]
+        for name, calls, wall, cpu, counters in self.summary():
+            extras = " ".join(
+                f"{key}={value}" for key, value in sorted(counters.items())
+            )
+            lines.append(f"{name:<28} {calls:>8} {wall:>10.4f} {cpu:>10.4f}  {extras}")
+        if self.dropped:
+            lines.append(f"({self.dropped} spans beyond max_spans aggregated only)")
+        return "\n".join(lines)
+
+    def format_tree(self, max_lines: int = 400) -> str:
+        """Indented pre-order rendering of the recorded span tree."""
+        lines = []
+        for span in self.spans[:max_lines]:
+            extras = " ".join(
+                f"{key}={value}" for key, value in sorted(span.counters.items())
+            )
+            tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+            detail = " ".join(part for part in (tags, extras) if part)
+            lines.append(
+                f"{'  ' * span.depth}{span.name}  wall={span.wall_s * 1e3:.3f}ms "
+                f"cpu={span.cpu_s * 1e3:.3f}ms{'  ' + detail if detail else ''}"
+            )
+        hidden = len(self.spans) - max_lines + self.dropped
+        if hidden > 0:
+            lines.append(f"... {hidden} more spans (see summary)")
+        return "\n".join(lines)
+
+
+#: ambient tracer; per-thread, defaults to the disabled singleton
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer():
+    """The ambient tracer of this thread (:data:`NULL_TRACER` when off)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)

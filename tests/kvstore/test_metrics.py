@@ -91,3 +91,46 @@ def test_metrics_bump_is_thread_safe():
     for thread in threads:
         thread.join()
     assert metrics.snapshot()["gets"] == 40_000
+
+
+def test_snapshot_preserves_per_thread_bump_ordering():
+    """Concurrent snapshots must not tear related counters apart.
+
+    Writers bump ``gets`` *before* ``sstable_reads``; the documented
+    snapshot guarantee (one atomic copy per shard) means no snapshot may
+    ever observe more ``sstable_reads`` than ``gets``.  The old
+    counter-major aggregation read each shard once per counter name and
+    could report exactly that inversion.
+    """
+    import threading
+
+    from repro.kvstore import StoreMetrics
+
+    metrics = StoreMetrics()
+    stop = threading.Event()
+    violations: list[dict[str, int]] = []
+
+    def writer():
+        while not stop.is_set():
+            metrics.bump("gets")
+            metrics.bump("sstable_reads")
+
+    def reader():
+        while not stop.is_set():
+            snapshot = metrics.snapshot()
+            if snapshot["sstable_reads"] > snapshot["gets"]:
+                violations.append(snapshot)
+
+    threads = [threading.Thread(target=writer) for _ in range(3)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    import time
+
+    time.sleep(0.3)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert violations == []
+    final = metrics.snapshot()
+    assert final["gets"] >= final["sstable_reads"] > 0

@@ -1,0 +1,187 @@
+"""Tracer behaviour: nesting, aggregation, and the disabled fast path."""
+
+from __future__ import annotations
+
+import gc
+import sys
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_spans_record_in_opening_order(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with tracer.span("outer"):
+                with tracer.span("first"):
+                    pass
+                with tracer.span("second"):
+                    with tracer.span("inner"):
+                        pass
+        assert [s.name for s in tracer.spans] == [
+            "outer",
+            "first",
+            "second",
+            "inner",
+        ]
+
+    def test_depth_and_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert (outer.depth, mid.depth, leaf.depth) == (0, 1, 2)
+        assert outer.parent_index == -1
+        assert mid.parent_index == outer.index
+        assert leaf.parent_index == mid.index
+
+    def test_children_returns_direct_children_only(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.children(root)] == ["a", "b"]
+
+    def test_sibling_spans_after_nested_block_attach_to_root(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("deep"):
+                with tracer.span("deeper"):
+                    pass
+            with tracer.span("late"):
+                pass
+        late = tracer.spans[-1]
+        assert late.name == "late"
+        assert late.parent_index == root.index
+
+    def test_wall_and_cpu_times_non_negative(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            sum(range(1000))
+        assert span.wall_s >= 0
+        assert span.cpu_s >= 0
+
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.add("keys", 3)
+            span.add("keys", 2)
+            span.add("hits")
+        assert span.counters == {"keys": 5, "hits": 1}
+
+    def test_tags_from_open_and_tag_call(self):
+        tracer = Tracer()
+        with tracer.span("s", backend="lsm") as span:
+            span.tag(order="left_to_right")
+        assert span.tags == {"backend": "lsm", "order": "left_to_right"}
+
+
+class TestAggregation:
+    def test_summary_aggregates_per_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("hot") as span:
+                span.add("keys", 2)
+        names = {row[0]: row for row in tracer.summary()}
+        assert names["hot"][1] == 3  # calls
+        assert names["hot"][4] == {"keys": 6}
+
+    def test_max_spans_caps_tree_but_not_aggregates(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        assert tracer.summary()[0][1] == 5
+
+    def test_format_summary_and_tree_render(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            span.add("n", 7)
+            with tracer.span("leaf"):
+                pass
+        summary = tracer.format_summary()
+        assert "root" in summary and "n=7" in summary
+        tree = tracer.format_tree()
+        assert tree.splitlines()[0].startswith("root")
+        assert tree.splitlines()[1].startswith("  leaf")
+
+
+class TestAmbientTracer:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span("visible"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert [s.name for s in tracer.spans] == ["visible"]
+
+    def test_activation_is_per_thread(self):
+        tracer = Tracer()
+        seen: list[object] = []
+
+        def probe():
+            seen.append(current_tracer())
+
+        with activate(tracer):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen == [NULL_TRACER]
+
+
+class TestDisabledMode:
+    def test_null_span_is_a_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_null_span_operations_are_noops(self):
+        span = NULL_TRACER.span("anything")
+        with span:
+            span.add("keys", 10)
+            span.tag(order="x")
+        assert span.enabled is False
+
+    def test_disabled_hot_path_does_not_allocate(self):
+        """The pattern used on every hot path must not allocate when off.
+
+        ``sys.getallocatedblocks`` counts live allocated blocks.  A pass of
+        the measurement harness has a small constant block overhead (the
+        loop machinery itself), so the assertion is *scale independence*:
+        running the disabled-path pattern 10x more times must not move the
+        delta -- i.e. zero net allocations per call.
+        """
+
+        def hot_path():
+            span = current_tracer().span("lsm.multi_get")
+            with span:
+                if span.enabled:
+                    span.add("keys", 1)
+
+        def measure(iterations: int) -> int:
+            gc.collect()
+            before = sys.getallocatedblocks()
+            for _ in range(iterations):
+                hot_path()
+            return sys.getallocatedblocks() - before
+
+        assert current_tracer() is NULL_TRACER
+        for _ in range(100):  # warm up method/code caches
+            hot_path()
+        small = min(measure(1_000) for _ in range(3))
+        large = min(measure(10_000) for _ in range(3))
+        assert large - small <= 2

@@ -79,6 +79,22 @@ class TestIndexAndQuery:
         out = capsys.readouterr().out
         assert "score=" in out
 
+    def test_detect_explain(self, store_dir, capsys):
+        assert main(["detect", "--store", store_dir, "A,C", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "cardinality" in out
+
+    def test_detect_profile(self, store_dir, capsys):
+        assert main(
+            ["detect", "--store", store_dir, "A,B,C", "--explain", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "profile:" in out
+        assert "query.detect" in out
+        for stage in ("plan ", "fetch_postings", "intersect", "join", "materialize"):
+            assert stage in out
+
     def test_empty_pattern_rejected(self, store_dir):
         with pytest.raises(SystemExit):
             main(["detect", "--store", store_dir, ",,"])
@@ -89,3 +105,23 @@ class TestProfile:
         assert main(["profile", "--log", log_file]) == 0
         out = capsys.readouterr().out
         assert "Traces" in out and "events/trace" in out
+
+
+class TestMetrics:
+    def test_metrics_renders_prometheus_snapshot(self, store_dir, capsys):
+        assert main(["metrics", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_store_gets_total counter" in out
+        assert "# HELP repro_store_sstables" in out
+        assert f'store="{store_dir}"' in out
+
+    def test_metrics_with_pattern_moves_counters(self, store_dir, capsys):
+        assert main(["metrics", "--store", store_dir, "--pattern", "A,C"]) == 0
+        out = capsys.readouterr().out
+        assert "# ran detect" in out
+        for line in out.splitlines():
+            if line.startswith("repro_store_gets_total"):
+                assert int(line.rsplit(" ", 1)[1]) > 0
+                break
+        else:  # pragma: no cover - the metric must exist
+            raise AssertionError("repro_store_gets_total not rendered")

@@ -1,0 +1,94 @@
+"""Documentation health: intra-repo links resolve, metrics stay documented.
+
+Runs as part of the normal pytest suite, so CI fails when a doc link rots
+or a counter is added without a row in ``docs/METRICS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/METRICS.md",
+    "docs/OPERATIONS.md",
+]
+
+# [text](target) markdown links; images excluded by the (?<!!) guard.
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _links(doc: str) -> list[str]:
+    with open(os.path.join(REPO_ROOT, doc), encoding="utf-8") as fh:
+        return _LINK.findall(fh.read())
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_doc_exists(doc):
+    assert os.path.isfile(os.path.join(REPO_ROOT, doc)), f"{doc} is missing"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_intra_repo_links_resolve(doc):
+    """Every relative markdown link must point at an existing file."""
+    broken = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(REPO_ROOT, os.path.dirname(doc), path)
+        )
+        if not os.path.exists(resolved):
+            broken.append(target)
+    assert not broken, f"{doc} has broken relative links: {broken}"
+
+
+def _metrics_doc() -> str:
+    with open(os.path.join(REPO_ROOT, "docs/METRICS.md"), encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_every_store_counter_documented():
+    """Adding a StoreMetrics counter requires a docs/METRICS.md row."""
+    from repro.kvstore.lsm import StoreMetrics
+
+    doc = _metrics_doc()
+    missing = [
+        name for name in StoreMetrics._COUNTERS if f"`{name}`" not in doc
+    ]
+    assert not missing, (
+        f"StoreMetrics counters missing from docs/METRICS.md: {missing}"
+    )
+
+
+def test_every_catalogued_metric_documented():
+    """Every exposition name in METRIC_CATALOG needs a docs/METRICS.md row."""
+    from repro.obs.registry import METRIC_CATALOG
+
+    doc = _metrics_doc()
+    missing = [name for name in METRIC_CATALOG if f"`{name}`" not in doc]
+    assert not missing, (
+        f"catalogued metrics missing from docs/METRICS.md: {missing}"
+    )
+
+
+def test_every_catalogued_metric_has_type_and_help():
+    from repro.obs.registry import METRIC_CATALOG
+
+    for name, (metric_type, help_text) in METRIC_CATALOG.items():
+        assert metric_type in ("counter", "gauge"), name
+        assert help_text.strip(), f"{name} has empty help text"
+        if name.endswith("_total"):
+            assert metric_type == "counter", f"{name} must be a counter"
+        else:
+            assert metric_type == "gauge", f"{name} must be a gauge"
