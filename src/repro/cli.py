@@ -9,6 +9,7 @@ Examples::
     python -m repro continue --store ./ix A,B --mode hybrid --top-k 5
     python -m repro profile --log log.csv --store ./ix
     python -m repro metrics --store ./ix
+    python -m repro faults --seed 1234
 """
 
 from __future__ import annotations
@@ -178,6 +179,52 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Replay crash-recovery fault-injection seeds.
+
+    ``--seed N`` replays the single seed a failing test printed;
+    ``--seeds A:B`` sweeps a half-open range.  Exit status 0 means every
+    seed upheld the durability contract; a violation prints the failure
+    and returns 1.
+    """
+    from repro.faults import CrashRecoveryFailure, run_seed
+
+    if args.seed is None and args.seeds is None:
+        raise SystemExit("faults requires --seed N or --seeds A:B")
+    if args.seeds is not None:
+        try:
+            start, stop = (int(part) for part in args.seeds.split(":", 1))
+        except ValueError:
+            raise SystemExit("--seeds expects A:B, e.g. 0:200") from None
+        seeds = range(start, stop)
+    else:
+        seeds = [args.seed]
+    import os
+
+    failures = 0
+    for seed in seeds:
+        workdir = os.path.join(args.path, f"seed-{seed}") if args.path else None
+        try:
+            summary = run_seed(seed, ops=args.ops, path=workdir)
+        except CrashRecoveryFailure as exc:
+            failures += 1
+            print(f"FAIL {exc}")
+        else:
+            outcome = (
+                "crashed"
+                if summary["crashed"]
+                else ("detected" if summary["detected"] else "survived")
+            )
+            print(
+                f"seed {seed}: ok ({summary['fault']}, {outcome}, "
+                f"acked={summary['acked']}, checked={summary['checked']})"
+            )
+    if failures:
+        print(f"{failures} of {len(seeds)} seeds FAILED")
+        return 1
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     if args.log is None and args.store is None:
         raise SystemExit("profile requires --log and/or --store")
@@ -300,6 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     met.add_argument("--partition", default="", help="partition ('' = default)")
     met.set_defaults(fn=cmd_metrics)
+
+    flt = sub.add_parser(
+        "faults", help="replay crash-recovery fault-injection seeds"
+    )
+    flt.add_argument("--seed", type=int, default=None, help="one seed to replay")
+    flt.add_argument(
+        "--seeds", default=None, help="half-open seed range to sweep, e.g. 0:200"
+    )
+    flt.add_argument(
+        "--ops", type=int, default=160, help="workload length per seed"
+    )
+    flt.add_argument(
+        "--path",
+        default=None,
+        help="run in this directory and keep it (default: temp dir, removed)",
+    )
+    flt.set_defaults(fn=cmd_faults)
     return parser
 
 

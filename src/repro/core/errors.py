@@ -1,6 +1,24 @@
-"""Exception hierarchy of the core library."""
+"""Exception hierarchy of the core library.
+
+Storage-corruption errors (:class:`CorruptionError`,
+:class:`CorruptSSTableError`) are defined next to the store in
+:mod:`repro.kvstore.api` and re-exported here so engine-level callers can
+catch them without importing kvstore internals.
+"""
 
 from __future__ import annotations
+
+from repro.kvstore.api import CorruptionError, CorruptSSTableError
+
+__all__ = [
+    "ReproError",
+    "TraceOrderError",
+    "EmptyPatternError",
+    "PolicyMismatchError",
+    "IndexStateError",
+    "CorruptionError",
+    "CorruptSSTableError",
+]
 
 
 class ReproError(Exception):

@@ -36,6 +36,17 @@ class CorruptionError(StoreError):
     """A persisted file failed a checksum or structural validation."""
 
 
+class CorruptSSTableError(CorruptionError):
+    """An SSTable failed structural validation (torn, truncated or flipped).
+
+    Raised instead of raw ``struct.error``/``IndexError`` for every way a
+    corrupt SSTable can fail to parse: bad CRCs, a truncated bloom filter,
+    sparse-index entries pointing past EOF, torn record headers.  Subclass
+    of :class:`CorruptionError`, so callers that only care about "the file
+    is damaged" keep working.
+    """
+
+
 def normalize_key(key: KeyPart | Key) -> Key:
     """Coerce a user key into its canonical tuple form."""
     if isinstance(key, tuple):

@@ -175,6 +175,8 @@ class BackgroundCompactor:
             self._thread.join()
 
     def _run(self) -> None:
+        from repro.faults.schedule import SimulatedCrash
+
         while not self._stopped.is_set():
             self._wake.wait(timeout=self._idle_wait)
             self._wake.clear()
@@ -184,6 +186,11 @@ class BackgroundCompactor:
                 while self._store._compaction_round():
                     if self._stopped.is_set():
                         return
+            except SimulatedCrash as exc:
+                # An injected crash means "the process died here": record it
+                # and stop compacting -- retrying would mask the crash.
+                self.last_error = exc
+                return
             except Exception as exc:  # noqa: BLE001 - worker must survive
                 self.last_error = exc
                 self._store.metrics.bump("compaction_aborts")

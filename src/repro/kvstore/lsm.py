@@ -55,7 +55,9 @@ import struct
 import threading
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.faults.io import REAL_IO
 from repro.kvstore.api import (
+    CorruptionError,
     KeyValueStore,
     MergeUnsupportedError,
     StoreClosedError,
@@ -198,8 +200,12 @@ class LSMStore(KeyValueStore):
         auto_compact: bool = True,
         background_compaction: bool = False,
         block_cache_bytes: int = 8 * 1024 * 1024,
+        io=None,
     ) -> None:
         self._path = path
+        #: filesystem shim for durability-critical I/O; tests inject a
+        #: :class:`repro.faults.FaultyIO` here, production uses ``REAL_IO``.
+        self._io = io or REAL_IO
         self._memtable_flush_bytes = memtable_flush_bytes
         self._sync_wal = sync_wal
         self._compaction_min_tables = compaction_min_tables
@@ -237,7 +243,9 @@ class LSMStore(KeyValueStore):
         self._load_manifest()
         self._memtable = Memtable()
         self._replay_wal()
-        self._wal = WriteAheadLog(os.path.join(path, WAL_NAME), sync=sync_wal)
+        self._wal = WriteAheadLog(
+            os.path.join(path, WAL_NAME), sync=sync_wal, io=self._io
+        )
         self._compactor = BackgroundCompactor(self) if background_compaction else None
         #: identity used in metrics exposition labels
         self.obs_name = path
@@ -271,7 +279,9 @@ class LSMStore(KeyValueStore):
         for filename in manifest["sstables"]:
             self._sstables.append(
                 SSTableReader(
-                    os.path.join(self._path, filename), cache=self._block_cache
+                    os.path.join(self._path, filename),
+                    cache=self._block_cache,
+                    io=self._io,
                 )
             )
 
@@ -288,11 +298,14 @@ class LSMStore(KeyValueStore):
             "sstables": [os.path.basename(r.path) for r in self._sstables],
         }
         tmp = self._manifest_path() + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(manifest, fh)
+        fh = self._io.open(tmp, "wb")
+        try:
+            fh.write(json.dumps(manifest).encode("utf-8"))
             fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._manifest_path())
+            self._io.fsync(fh)
+        finally:
+            fh.close()
+        self._io.replace(tmp, self._manifest_path())
 
     def _wal_segments(self) -> list[tuple[int, str]]:
         """Frozen WAL segments as ``(id, path)``, oldest first."""
@@ -321,7 +334,7 @@ class LSMStore(KeyValueStore):
     def _remove_wal_segments(self, upto_id: int) -> None:
         for segment_id, segment_path in self._wal_segments():
             if segment_id <= upto_id:
-                os.remove(segment_path)
+                self._io.remove(segment_path)
 
     # -- table management -------------------------------------------------------
 
@@ -723,8 +736,10 @@ class LSMStore(KeyValueStore):
         self._next_wal_id += 1
         self._wal.close()
         active = os.path.join(self._path, WAL_NAME)
-        os.replace(active, os.path.join(self._path, f"wal-{frozen_id:06d}.log"))
-        self._wal = WriteAheadLog(active, sync=self._sync_wal)
+        self._io.replace(
+            active, os.path.join(self._path, f"wal-{frozen_id:06d}.log")
+        )
+        self._wal = WriteAheadLog(active, sync=self._sync_wal, io=self._io)
         self._immutable = sealed
         self._memtable = Memtable()
         handoff = (sealed, frozen_id, upto)
@@ -737,7 +752,9 @@ class LSMStore(KeyValueStore):
             filename = f"sst-{self._next_sst_id:06d}.sst"
             self._next_sst_id += 1
         writer = SSTableWriter(
-            os.path.join(self._path, filename), expected_records=len(sealed)
+            os.path.join(self._path, filename),
+            expected_records=len(sealed),
+            io=self._io,
         )
         span = current_tracer().span("lsm.flush")
         try:
@@ -811,6 +828,16 @@ class LSMStore(KeyValueStore):
         """
         with self._state_lock.read():
             run = list(self._sstables[start:stop])
+        # Scrub the inputs first: merging unverified bytes would stamp a
+        # *fresh* CRC over corrupt data, laundering a detectable bit flip
+        # into a permanently undetectable one.  A corrupt input aborts the
+        # round; reads keep serving (and verify() keeps failing loudly).
+        for reader in run:
+            try:
+                reader.verify()
+            except CorruptionError:
+                self.metrics.bump("compaction_aborts")
+                return False
         finalize = start == 0
         with self._state_lock.write():
             filename = f"sst-{self._next_sst_id:06d}.sst"
@@ -818,6 +845,7 @@ class LSMStore(KeyValueStore):
         writer = SSTableWriter(
             os.path.join(self._path, filename),
             expected_records=sum(r.record_count for r in run),
+            io=self._io,
         )
         span = current_tracer().span("lsm.compaction")
         try:
@@ -834,14 +862,20 @@ class LSMStore(KeyValueStore):
         except BaseException:
             writer.abort()
             raise
-        if self.compaction_pre_swap_hook is not None:
-            try:
+        try:
+            # Named fault point for the compaction protocol's vulnerable
+            # window (output sealed, manifest not yet swapped); a scheduled
+            # ``point:compaction.pre_swap`` fault fires here.
+            self._io.fault_point("compaction.pre_swap", merged.path)
+            if self.compaction_pre_swap_hook is not None:
+                # Legacy test seam, kept for older fault-injection tests;
+                # new code should schedule the fault point above instead.
                 self.compaction_pre_swap_hook(merged.path)
-            except BaseException:
-                # Simulated kill between output and swap: leave the orphan
-                # file on disk exactly as a real crash would.
-                merged.close()
-                raise
+        except BaseException:
+            # Simulated kill between output and swap: leave the orphan
+            # file on disk exactly as a real crash would.
+            merged.close()
+            raise
         try:
             merged.verify()
         except Exception:
@@ -861,31 +895,53 @@ class LSMStore(KeyValueStore):
         self.metrics.bump("compactions")
         for reader in run:
             reader.close()
-            os.remove(reader.path)
+            self._io.remove(reader.path)
         return True
 
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
-        REGISTRY.unregister(self._obs_handle)
+        """Flush and release resources; idempotent and safe mid-fault.
+
+        The final flush is attempted once.  If it fails (ENOSPC, a failed
+        fsync, an injected fault), the store is *still* marked closed and
+        every file handle is released before the flush error propagates:
+        acknowledged writes stay recoverable from the frozen WAL segments
+        on the next open, and nothing leaks.  A second ``close()`` -- after
+        success, after a failure, or concurrently -- is a quiet no-op.
+        """
         with self._state_lock.write():
             if self._closed:
                 return
+        REGISTRY.unregister(self._obs_handle)
         compactor, self._compactor = self._compactor, None
         if compactor is not None:
             compactor.stop()
+        flush_error: BaseException | None = None
         try:
             self.flush()
         except StoreClosedError:  # raced with another close()
             return
+        except BaseException as exc:
+            flush_error = exc
+        close_error: BaseException | None = None
         with self._compaction_lock, self._flush_lock:
             with self._state_lock.write():
                 if self._closed:
+                    if flush_error is not None:
+                        raise flush_error
                     return
                 self._closed = True
-                self._wal.close()
-                for reader in self._sstables:
-                    reader.close()
+                for handle in (self._wal, *self._sstables):
+                    try:
+                        handle.close()
+                    except BaseException as exc:
+                        if close_error is None:
+                            close_error = exc
+        if flush_error is not None:
+            raise flush_error
+        if close_error is not None:
+            raise close_error
 
     @property
     def sstable_count(self) -> int:

@@ -40,7 +40,8 @@ import zlib
 from bisect import bisect_right
 from typing import Iterable, Iterator
 
-from repro.kvstore.api import CorruptionError
+from repro.faults.io import REAL_IO
+from repro.kvstore.api import CorruptSSTableError
 from repro.kvstore.bloom import BloomFilter
 from repro.kvstore.cache import BlockCache
 
@@ -56,10 +57,11 @@ _FOOTER = struct.Struct(">QQQII")
 class SSTableWriter:
     """Streams sorted records into a new SSTable file."""
 
-    def __init__(self, path: str, expected_records: int = 1024) -> None:
+    def __init__(self, path: str, expected_records: int = 1024, io=None) -> None:
         self._path = path
         self._tmp_path = path + ".tmp"
-        self._file = open(self._tmp_path, "wb")
+        self._io = io or REAL_IO
+        self._file = self._io.open(self._tmp_path, "wb")
         self._file.write(MAGIC)
         self._bloom = BloomFilter.with_capacity(expected_records)
         self._index: list[tuple[bytes, int]] = []
@@ -100,10 +102,10 @@ class SSTableWriter:
         self._file.write(struct.pack(">I", meta_crc))
         self._file.write(END_MAGIC)
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self._io.fsync(self._file)
         self._file.close()
-        os.replace(self._tmp_path, self._path)
-        return SSTableReader(self._path, cache=cache)
+        self._io.replace(self._tmp_path, self._path)
+        return SSTableReader(self._path, cache=cache, io=self._io)
 
     def abort(self) -> None:
         """Discard a partially written table."""
@@ -117,9 +119,11 @@ class SSTableReader:
 
     _uids = itertools.count(1)
 
-    def __init__(self, path: str, cache: BlockCache | None = None) -> None:
+    def __init__(
+        self, path: str, cache: BlockCache | None = None, io=None
+    ) -> None:
         self._path = path
-        self._file = open(path, "rb")
+        self._file = (io or REAL_IO).open(path, "rb")
         self._fd = self._file.fileno()
         self._cache = cache
         self._uid = next(SSTableReader._uids)
@@ -130,38 +134,66 @@ class SSTableReader:
         size = self._file.tell()
         tail = _FOOTER.size + len(END_MAGIC)
         if size < len(MAGIC) + tail:
-            raise CorruptionError(f"SSTable {self._path} too small")
+            raise CorruptSSTableError(f"SSTable {self._path} too small")
         self._file.seek(size - tail)
         footer = self._file.read(_FOOTER.size)
         magic = self._file.read(len(END_MAGIC))
         if magic != END_MAGIC:
-            raise CorruptionError(f"SSTable {self._path} missing end magic")
+            raise CorruptSSTableError(f"SSTable {self._path} missing end magic")
         index_off, bloom_off, count, data_crc, meta_crc = _FOOTER.unpack(footer)
         if not len(MAGIC) <= index_off <= bloom_off <= size - tail:
-            raise CorruptionError(f"SSTable {self._path} has implausible offsets")
+            raise CorruptSSTableError(
+                f"SSTable {self._path} has implausible offsets"
+            )
         self._file.seek(0)
         if self._file.read(len(MAGIC)) != MAGIC:
-            raise CorruptionError(f"SSTable {self._path} missing header magic")
+            raise CorruptSSTableError(f"SSTable {self._path} missing header magic")
         self._file.seek(index_off)
         meta = self._file.read(size - tail - index_off)
         fields = footer[: struct.calcsize(">QQQI")]
         if zlib.crc32(meta + fields) != meta_crc:
-            raise CorruptionError(f"SSTable {self._path} metadata CRC mismatch")
+            raise CorruptSSTableError(
+                f"SSTable {self._path} metadata CRC mismatch"
+            )
         self._data_crc = data_crc
         index_buf = meta[: bloom_off - index_off]
         bloom_buf = meta[bloom_off - index_off :]
-        self._bloom = BloomFilter.from_bytes(bloom_buf)
+        # The meta CRC already vouches for these bytes, but a writer bug (or
+        # a collision-lucky flip) must still surface as a *typed* error --
+        # never a raw struct.error/IndexError from the parse below.
+        try:
+            self._bloom = BloomFilter.from_bytes(bloom_buf)
+        except (struct.error, ValueError, IndexError) as exc:
+            raise CorruptSSTableError(
+                f"SSTable {self._path} has a truncated or corrupt bloom "
+                f"filter: {exc}"
+            ) from None
         self._index_keys: list[bytes] = []
         self._index_offsets: list[int] = []
         pos = 0
-        while pos < len(index_buf):
-            (klen,) = _U32.unpack_from(index_buf, pos)
-            pos += 4
-            self._index_keys.append(index_buf[pos : pos + klen])
-            pos += klen
-            (offset,) = _U64.unpack_from(index_buf, pos)
-            pos += 8
-            self._index_offsets.append(offset)
+        try:
+            while pos < len(index_buf):
+                (klen,) = _U32.unpack_from(index_buf, pos)
+                pos += 4
+                if pos + klen + 8 > len(index_buf):
+                    raise CorruptSSTableError(
+                        f"SSTable {self._path} sparse index truncated"
+                    )
+                self._index_keys.append(index_buf[pos : pos + klen])
+                pos += klen
+                (offset,) = _U64.unpack_from(index_buf, pos)
+                pos += 8
+                self._index_offsets.append(offset)
+        except struct.error as exc:
+            raise CorruptSSTableError(
+                f"SSTable {self._path} sparse index unparseable: {exc}"
+            ) from None
+        for offset in self._index_offsets:
+            if not len(MAGIC) <= offset < index_off:
+                raise CorruptSSTableError(
+                    f"SSTable {self._path} sparse-index entry points past "
+                    f"the data section (offset {offset})"
+                )
         self._count = count
         self._data_end = index_off
 
@@ -174,7 +206,7 @@ class SSTableReader:
 
         Point reads and scans stay checksum-free (the index/bloom path is
         covered at open); call this for explicit scrubbing, e.g. after
-        restoring a backup.  Raises :class:`CorruptionError` on mismatch.
+        restoring a backup.  Raises :class:`CorruptSSTableError` on mismatch.
         """
         offset = len(MAGIC)
         remaining = self._data_end - offset
@@ -182,12 +214,12 @@ class SSTableReader:
         while remaining > 0:
             chunk = os.pread(self._fd, min(1 << 20, remaining), offset)
             if not chunk:
-                raise CorruptionError(f"SSTable {self._path} data truncated")
+                raise CorruptSSTableError(f"SSTable {self._path} data truncated")
             crc = zlib.crc32(chunk, crc)
             offset += len(chunk)
             remaining -= len(chunk)
         if crc != self._data_crc:
-            raise CorruptionError(f"SSTable {self._path} data CRC mismatch")
+            raise CorruptSSTableError(f"SSTable {self._path} data CRC mismatch")
 
     @property
     def record_count(self) -> int:
@@ -269,7 +301,7 @@ class SSTableReader:
         start, end = self._block_bounds(slot)
         buf = os.pread(self._fd, end - start, start)
         if len(buf) != end - start:
-            raise CorruptionError(f"SSTable {self._path} data truncated")
+            raise CorruptSSTableError(f"SSTable {self._path} data truncated")
         records = self._parse_block(buf)
         if self._cache is not None and fill_cache:
             self._cache.put((self._uid, slot), records, weight=max(1, len(buf)))
@@ -281,11 +313,11 @@ class SSTableReader:
         total = len(buf)
         while pos < total:
             if pos + 4 > total:
-                raise CorruptionError(f"SSTable {self._path} truncated record header")
+                raise CorruptSSTableError(f"SSTable {self._path} truncated record header")
             (klen,) = _U32.unpack_from(buf, pos)
             pos += 4
             if pos + klen + 5 > total:
-                raise CorruptionError(f"SSTable {self._path} truncated record")
+                raise CorruptSSTableError(f"SSTable {self._path} truncated record")
             key = buf[pos : pos + klen]
             pos += klen
             kind = buf[pos]
@@ -293,7 +325,7 @@ class SSTableReader:
             (vlen,) = _U32.unpack_from(buf, pos)
             pos += 4
             if pos + vlen > total:
-                raise CorruptionError(f"SSTable {self._path} truncated record value")
+                raise CorruptSSTableError(f"SSTable {self._path} truncated record value")
             value = buf[pos : pos + vlen]
             pos += vlen
             records.append((key, kind, value))

@@ -25,6 +25,7 @@ import struct
 import zlib
 from typing import Iterator
 
+from repro.faults.io import REAL_IO
 from repro.kvstore.api import CorruptionError
 
 KIND_PUT = 1
@@ -54,10 +55,11 @@ class WalRecord:
 class WriteAheadLog:
     """Appender/replayer over a single WAL file."""
 
-    def __init__(self, path: str, sync: bool = False) -> None:
+    def __init__(self, path: str, sync: bool = False, io=None) -> None:
         self._path = path
         self._sync = sync
-        self._file = open(path, "ab")
+        self._io = io or REAL_IO
+        self._file = self._io.open(path, "ab")
 
     @property
     def path(self) -> str:
@@ -75,7 +77,7 @@ class WriteAheadLog:
         self._file.write(frame)
         self._file.flush()
         if self._sync:
-            os.fsync(self._file.fileno())
+            self._io.fsync(self._file)
 
     def truncate(self) -> None:
         """Discard all records (called after a successful memtable flush)."""

@@ -94,6 +94,11 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter",
         "Queries that exceeded the slow-query threshold.",
     ),
+    # -- fault injection ----------------------------------------------------
+    "repro_faults_injected_total": (
+        "counter",
+        "Faults injected by FaultyIO schedules (process-wide; 0 in production).",
+    ),
 }
 
 Collector = Callable[[], dict[str, float]]

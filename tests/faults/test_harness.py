@@ -1,0 +1,154 @@
+"""Crash-recovery harness: fixed tier-1 seeds plus the wide opt-in sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CORRUPT,
+    TRUNCATE_CRASH,
+    CrashRecoveryFailure,
+    Fault,
+    FaultSchedule,
+    FaultyIO,
+    SimulatedCrash,
+    run_seed,
+)
+from repro.faults.harness import _Oracle, ABSENT, WorkloadOp, generate_workload
+from repro.kvstore import LSMStore
+
+# Fixed seeds exercised on every tier-1 run; chosen to cover each fault
+# kind (see test_fixed_seeds_cover_fault_kinds, which pins the mapping).
+TIER1_SEEDS = (0, 1, 2, 3, 4, 5, 6, 9, 12, 16, 18, 21, 23, 24, 42, 77, 101, 137, 161, 199)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = [repr(op) for op in generate_workload(5)]
+        b = [repr(op) for op in generate_workload(5)]
+        assert a == b
+
+    def test_mixes_op_kinds(self):
+        kinds = {op.kind for op in generate_workload(3, ops=400)}
+        assert kinds == {"put", "merge", "delete", "flush", "compact"}
+
+
+class TestOracle:
+    def test_ack_advances_single_branch(self):
+        oracle = _Oracle()
+        oracle.ack(WorkloadOp("put", "kv", 1, "a"))
+        oracle.ack(WorkloadOp("put", "kv", 1, "b"))
+        assert oracle.possible[("kv", 1)] == ["b"]
+
+    def test_indeterminate_forks_branches(self):
+        oracle = _Oracle()
+        oracle.ack(WorkloadOp("put", "kv", 1, "a"))
+        oracle.indeterminate(WorkloadOp("delete", "kv", 1))
+        assert sorted(oracle.possible[("kv", 1)], key=repr) == sorted(
+            ["a", ABSENT], key=repr
+        )
+
+    def test_acked_merge_advances_both_branches(self):
+        # The case the possible-values design exists for: an indeterminate
+        # delta followed by an acked one must allow [d1, d2] and [d2].
+        oracle = _Oracle()
+        oracle.indeterminate(WorkloadOp("merge", "log", 1, ["d1"]))
+        oracle.ack(WorkloadOp("merge", "log", 1, ["d2"]))
+        branches = {tuple(v) for v in oracle.possible[("log", 1)]}
+        assert branches == {("d1", "d2"), ("d2",)}
+
+
+class TestFixedSeeds:
+    """Small deterministic subset that runs on every tier-1 invocation."""
+
+    @pytest.mark.parametrize("seed", TIER1_SEEDS)
+    def test_seed_upholds_durability_contract(self, seed, tmp_path):
+        summary = run_seed(seed, path=str(tmp_path / "db"))
+        assert summary["fired"], "fault never fired: widen the workload"
+
+    def test_fixed_seeds_cover_fault_kinds(self):
+        kinds = {
+            FaultSchedule.from_seed(seed)._faults[0].kind for seed in TIER1_SEEDS
+        }
+        assert len(kinds) >= 6  # near-full coverage of the 7 generated kinds
+
+    def test_same_seed_reproduces_identical_summary(self, tmp_path):
+        a = run_seed(3, path=str(tmp_path / "a"))
+        b = run_seed(3, path=str(tmp_path / "b"))
+        assert a == b
+
+    def test_failure_message_embeds_reproducer(self):
+        failure = CrashRecoveryFailure(1234, "boom")
+        assert "python -m repro faults --seed 1234" in str(failure)
+        assert failure.seed == 1234
+
+
+class TestCompactionFaultPoints:
+    """The killed-compaction scenarios, ported from the retired hook."""
+
+    @staticmethod
+    def _populated(path: str, io=None) -> LSMStore:
+        store = LSMStore(
+            path, auto_compact=False, compaction_min_tables=2, io=io
+        )
+        store.create_table("t", merge_operator="list_append")
+        for batch in range(4):
+            for i in range(25):
+                store.merge("t", i % 5, [batch * 100 + i])
+            store.flush()
+        return store
+
+    def test_truncate_crash_at_pre_swap_recovers(self, tmp_path):
+        path = str(tmp_path / "db")
+        schedule = FaultSchedule(
+            [Fault(TRUNCATE_CRASH, "point:compaction.pre_swap", nth=1)]
+        )
+        store = self._populated(path, io=FaultyIO(schedule))
+        before = {k: v for k, v in store.scan("t")}
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        store._wal._file.close()
+        for reader in store._sstables:
+            reader._file.close()
+
+        # The orphan half-written output is outside the manifest; reopening
+        # serves the intact pre-compaction tables.
+        reopened = LSMStore(path)
+        assert {k: v for k, v in reopened.scan("t")} == before
+        reopened.verify()
+        reopened.close()
+
+    def test_corrupt_output_at_pre_swap_aborts_swap(self, tmp_path):
+        path = str(tmp_path / "db")
+        schedule = FaultSchedule(
+            [Fault(CORRUPT, "point:compaction.pre_swap", nth=1, arg=0.4)]
+        )
+        store = self._populated(path, io=FaultyIO(schedule))
+        before = {k: v for k, v in store.scan("t")}
+
+        assert store.compact() is False  # pre-swap verify rejects the output
+        assert store.metrics.compaction_aborts == 1
+        assert store.metrics.compactions == 0
+        assert {k: v for k, v in store.scan("t")} == before
+        store.verify()
+        store.close()
+
+
+@pytest.mark.faults
+class TestSeedSweep:
+    """Wide sweep (``pytest -m faults``); failures print their reproducer."""
+
+    SWEEP = 200
+
+    def test_seed_sweep(self, tmp_path):
+        failures = []
+        for seed in range(self.SWEEP):
+            try:
+                run_seed(seed, path=str(tmp_path / f"seed-{seed}"))
+            except CrashRecoveryFailure as exc:
+                failures.append(str(exc))
+        if failures:
+            pytest.fail(
+                f"{len(failures)}/{self.SWEEP} seeds violated the durability "
+                "contract:\n" + "\n".join(failures)
+            )

@@ -1,0 +1,108 @@
+"""FaultSchedule: deterministic derivation, matching and halting."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.faults import (
+    CRASH,
+    ENOSPC,
+    TORN_WRITE,
+    Fault,
+    FaultSchedule,
+)
+from repro.faults.schedule import CRASH_KINDS, CORRUPTING_KINDS
+
+
+class TestFault:
+    def test_matches_op_and_path_substring(self):
+        fault = Fault(ENOSPC, "write", path_part=".sst")
+        assert fault.matches("write", "/db/sst-000001.sst")
+        assert not fault.matches("write", "/db/wal.log")
+        assert not fault.matches("fsync", "/db/sst-000001.sst")
+
+    def test_path_exclude(self):
+        fault = Fault(ENOSPC, "write", path_exclude="MANIFEST")
+        assert fault.matches("write", "/db/wal.log")
+        assert not fault.matches("write", "/db/MANIFEST.tmp")
+
+
+class TestTake:
+    def test_fires_on_nth_matching_op(self):
+        schedule = FaultSchedule([Fault(ENOSPC, "write", nth=3)])
+        assert schedule.take("write", "a") is None
+        assert schedule.take("fsync", "a") is None  # wrong op: not counted
+        assert schedule.take("write", "b") is None
+        fault = schedule.take("write", "c")
+        assert fault is not None and fault.kind == ENOSPC
+        assert fault.fired_at == ("write", "c")
+        assert schedule.fired
+
+    def test_one_shot(self):
+        schedule = FaultSchedule([Fault(ENOSPC, "write", nth=1)])
+        assert schedule.take("write") is not None
+        assert schedule.take("write") is None
+
+    def test_crash_kind_halts_schedule(self):
+        schedule = FaultSchedule(
+            [Fault(CRASH, "fsync", nth=1), Fault(ENOSPC, "write", nth=1)]
+        )
+        assert schedule.take("fsync") is not None
+        assert schedule.halted
+        # The simulated process is dead: nothing further fires.
+        assert schedule.take("write") is None
+
+    def test_survivable_kind_does_not_halt(self):
+        schedule = FaultSchedule(
+            [Fault(ENOSPC, "write", nth=1), Fault(CRASH, "fsync", nth=1)]
+        )
+        assert schedule.take("write") is not None
+        assert not schedule.halted
+        assert schedule.take("fsync") is not None
+
+    def test_op_counts_are_diagnostic(self):
+        schedule = FaultSchedule()
+        schedule.take("write")
+        schedule.take("write")
+        schedule.take("rename")
+        assert schedule.op_counts == {"write": 2, "rename": 1}
+
+
+class TestFromSeed:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.from_seed(42)._faults[0]
+        b = FaultSchedule.from_seed(42)._faults[0]
+        assert (a.kind, a.op, a.nth, a.arg) == (b.kind, b.op, b.nth, b.arg)
+
+    def test_seeds_cover_multiple_kinds(self):
+        kinds = {FaultSchedule.from_seed(seed)._faults[0].kind for seed in range(64)}
+        assert TORN_WRITE in kinds
+        assert len(kinds) >= 4
+
+    def test_bit_flips_never_target_the_manifest(self):
+        for seed in range(200):
+            fault = FaultSchedule.from_seed(seed)._faults[0]
+            if fault.kind == "bit_flip":
+                assert fault.path_exclude == "MANIFEST"
+
+    def test_derivation_is_stable_across_processes(self):
+        # Tuple hashing is PYTHONHASHSEED-randomized; the string seeding
+        # used here must not be.  Spawn a fresh interpreter and compare.
+        code = (
+            "from repro.faults import FaultSchedule\n"
+            "f = FaultSchedule.from_seed(7)._faults[0]\n"
+            "print(f.kind, f.op, f.nth, f.arg)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+        ).stdout.strip()
+        local = FaultSchedule.from_seed(7)._faults[0]
+        assert out == f"{local.kind} {local.op} {local.nth} {local.arg}"
+
+    def test_kind_classifications_are_disjoint(self):
+        assert not (CRASH_KINDS & CORRUPTING_KINDS)

@@ -267,6 +267,83 @@ class TestCompactionFaults:
         reopened.verify()
         reopened.close()
 
+class TestCloseIdempotency:
+    """close() must be repeatable and must release handles even mid-fault."""
+
+    def test_double_close_is_a_noop(self, tmp_path):
+        store = LSMStore(str(tmp_path / "db"))
+        store.create_table("t")
+        store.put("t", "k", 1)
+        store.close()
+        store.close()  # second close: quiet no-op
+
+    def test_close_after_failed_flush_releases_and_reraises(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "db")
+        store = LSMStore(path, auto_compact=False)
+        store.create_table("t")
+        store.put("t", "a", 1)
+
+        TestFlushFaults._fail_next_finish(monkeypatch)
+        with pytest.raises(OSError):
+            store.close()
+        monkeypatch.undo()
+
+        # The store ended closed with every handle released, so the same
+        # directory can be reopened in-process and replays the WAL.
+        assert store._closed
+        assert store._wal._file.closed
+        assert all(reader._file.closed for reader in store._sstables)
+        store.close()  # and a retry is a no-op, not a second failure
+
+        reopened = LSMStore(path)
+        assert reopened.get("t", "a") == 1
+        reopened.close()
+
+    def test_close_under_injected_fault_schedule(self, tmp_path):
+        from repro.faults import ENOSPC, Fault, FaultSchedule, FaultyIO
+
+        path = str(tmp_path / "db")
+        schedule = FaultSchedule([Fault(ENOSPC, "write", nth=1, path_part=".sst")])
+        store = LSMStore(path, auto_compact=False, io=FaultyIO(schedule))
+        store.create_table("t")
+        store.put("t", "a", 1)
+
+        with pytest.raises(OSError):
+            store.close()  # close-time flush hits the injected ENOSPC
+        assert store._closed
+        store.close()
+
+        reopened = LSMStore(path)
+        assert reopened.get("t", "a") == 1
+        reopened.close()
+
+    def test_concurrent_close_races_cleanly(self, tmp_path):
+        import threading
+
+        store = LSMStore(str(tmp_path / "db"))
+        store.create_table("t")
+        for i in range(100):
+            store.put("t", i, i)
+        errors = []
+
+        def close_once():
+            try:
+                store.close()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close_once) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store._closed
+
+
+class TestBackgroundCompactionFaults:
     def test_background_compaction_survives_corrupt_output(self, tmp_path):
         store = _multi_table_store(
             str(tmp_path / "db2"), background_compaction=True

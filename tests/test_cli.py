@@ -125,3 +125,26 @@ class TestMetrics:
                 break
         else:  # pragma: no cover - the metric must exist
             raise AssertionError("repro_store_gets_total not rendered")
+
+
+class TestFaults:
+    def test_single_seed_replay(self, capsys):
+        assert main(["faults", "--seed", "3", "--ops", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 3: ok" in out
+
+    def test_seed_range_sweep(self, capsys):
+        assert main(["faults", "--seeds", "0:3", "--ops", "80"]) == 0
+        out = capsys.readouterr().out
+        assert out.count(": ok") == 3
+
+    def test_requires_seed_argument(self):
+        with pytest.raises(SystemExit):
+            main(["faults"])
+
+    def test_keeps_directory_when_path_given(self, tmp_path, capsys):
+        keep = str(tmp_path / "kept")
+        assert main(["faults", "--seed", "1", "--ops", "80", "--path", keep]) == 0
+        import os
+
+        assert os.path.isdir(os.path.join(keep, "seed-1"))
