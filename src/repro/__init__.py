@@ -35,7 +35,11 @@ from repro.core import (
     EventLog,
     PairMethod,
     PairStats,
+    Pattern,
+    PatternElement,
     PatternMatch,
+    PatternPlan,
+    PatternSyntaxError,
     Policy,
     PolicyMismatchError,
     ReproError,
@@ -43,6 +47,7 @@ from repro.core import (
     Trace,
     TraceOrderError,
     create_pairs,
+    parse_pattern,
 )
 
 __version__ = "1.0.0"
@@ -55,13 +60,18 @@ __all__ = [
     "Policy",
     "PairMethod",
     "create_pairs",
+    "Pattern",
+    "PatternElement",
+    "parse_pattern",
     "PatternMatch",
+    "PatternPlan",
     "Completion",
     "PairStats",
     "ContinuationProposal",
     "ReproError",
     "TraceOrderError",
     "EmptyPatternError",
+    "PatternSyntaxError",
     "PolicyMismatchError",
     "__version__",
 ]

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from repro.baselines.sase.nfa import Nfa
+from repro.baselines.sase.nfa import Nfa, PatternNfa
 from repro.baselines.sase.pattern import SasePattern
 from repro.core.matches import PatternMatch
 from repro.core.model import EventLog
+from repro.core.pattern import Pattern
 from repro.core.policies import Policy
 
 
@@ -22,7 +23,7 @@ class SaseEngine:
 
     def query(
         self,
-        pattern: SasePattern | list[str],
+        pattern: SasePattern | Pattern | list[str],
         strategy: Policy = Policy.STNM,
         within: float | None = None,
         max_matches: int | None = None,
@@ -30,11 +31,25 @@ class SaseEngine:
         """All matches of ``pattern`` across the log.
 
         A plain list of event types is promoted to a :class:`SasePattern`
-        with the given ``strategy``/``within``.
+        with the given ``strategy``/``within``.  A composite
+        :class:`~repro.core.pattern.Pattern` (alternation / negation /
+        Kleene / WITHIN) evaluates through :class:`PatternNfa`, the
+        streaming oracle of the differential suite; ``strategy`` and
+        ``within`` must stay at their defaults for it.
         """
-        if not isinstance(pattern, SasePattern):
-            pattern = SasePattern.seq(*pattern, strategy=strategy, within=within)
-        nfa = Nfa(pattern)
+        if isinstance(pattern, Pattern):
+            if strategy is not Policy.STNM or within is not None:
+                raise ValueError(
+                    "composite patterns are STNM by definition and carry "
+                    "their window in the expression"
+                )
+            nfa = PatternNfa(pattern)
+        else:
+            if not isinstance(pattern, SasePattern):
+                pattern = SasePattern.seq(
+                    *pattern, strategy=strategy, within=within
+                )
+            nfa = Nfa(pattern)
         matches: list[PatternMatch] = []
         for trace in self.log:
             budget = None if max_matches is None else max_matches - len(matches)
@@ -46,13 +61,17 @@ class SaseEngine:
 
     def contains(
         self,
-        pattern: SasePattern | list[str],
+        pattern: SasePattern | Pattern | list[str],
         strategy: Policy = Policy.STNM,
     ) -> list[str]:
         """Trace ids with at least one match (early-exit per trace)."""
-        if not isinstance(pattern, SasePattern):
+        if isinstance(pattern, Pattern):
+            nfa = PatternNfa(pattern)
+        elif isinstance(pattern, SasePattern):
+            nfa = Nfa(pattern)
+        else:
             pattern = SasePattern.seq(*pattern, strategy=strategy)
-        nfa = Nfa(pattern)
+            nfa = Nfa(pattern)
         found = []
         for trace in self.log:
             if nfa.evaluate(trace.activities, trace.timestamps, max_matches=1):

@@ -241,3 +241,167 @@ class Nfa:
         if self.pattern.within is None or len(span) < 2:
             return True
         return span[-1] - span[0] <= self.pattern.within
+
+
+@dataclass(frozen=True)
+class _PatternState:
+    """One positive element of a composite pattern, compiled for streaming.
+
+    ``guard`` is the union of the types of every negated element between
+    the previous positive element and this one: while the automaton waits
+    for this state, a skipped guard-type event arms the violation flag.
+    """
+
+    types: frozenset[str]
+    kleene: bool
+    guard: frozenset[str]
+
+
+class PatternNfa:
+    """Streaming oracle for the composite pattern language (`core.pattern`).
+
+    Evaluates a :class:`~repro.core.pattern.Pattern` over one trace with
+    the same skip-till-next-match semantics as
+    :func:`repro.core.pattern.find_matches`, but as a forward
+    event-at-a-time automaton: negations compile to *guard sets* checked
+    while events stream past, instead of post-hoc occurrence-list
+    bisection.  The two implementations share nothing but the AST -- the
+    differential suite (``tests/core/test_differential.py``) exists to
+    keep them behaviourally identical.
+    """
+
+    def __init__(self, pattern) -> None:
+        self.pattern = pattern
+        elements = pattern.elements
+        pos_idx = pattern.positive_indices
+        states: list[_PatternState] = []
+        for ordinal, elem_index in enumerate(pos_idx):
+            prev_index = pos_idx[ordinal - 1] if ordinal else -1
+            guard: set[str] = set()
+            for j in range(prev_index + 1, elem_index):
+                if elements[j].negated:
+                    guard.update(elements[j].types)
+            elem = elements[elem_index]
+            states.append(
+                _PatternState(frozenset(elem.types), elem.kleene, frozenset(guard))
+            )
+        trailing: set[str] = set()
+        for j in range(pos_idx[-1] + 1, len(elements)):
+            if elements[j].negated:
+                trailing.update(elements[j].types)
+        self.states = tuple(states)
+        self.trailing_guard = frozenset(trailing)
+
+    def evaluate(
+        self,
+        activities: list[str],
+        timestamps: list[float],
+        max_matches: int | None = None,
+    ) -> list[tuple[float, ...]]:
+        """All matches over one trace, as timestamp tuples.
+
+        Greedy non-overlapping runs: a valid match resumes the search
+        after its last (absorbed) event; a run invalidated by the window
+        or a negation retries right after its first event.
+        """
+        matches: list[tuple[float, ...]] = []
+        n = len(activities)
+        search_from = 0
+        while search_from < n:
+            attempt = self._attempt(activities, timestamps, search_from)
+            if attempt is None:
+                break  # some positive element is absent from the suffix
+            flat, violated = attempt
+            span = tuple(timestamps[i] for i in flat)
+            if self.pattern.within is not None and (
+                span[-1] - span[0] > self.pattern.within
+            ):
+                violated = True
+            if violated:
+                search_from = flat[0] + 1
+            else:
+                matches.append(span)
+                if max_matches is not None and len(matches) >= max_matches:
+                    break
+                search_from = flat[-1] + 1
+        return matches
+
+    def _attempt(
+        self, activities: list[str], timestamps: list[float], start: int
+    ) -> tuple[list[int], bool] | None:
+        """One greedy run from ``start``: (positions, violated) or None.
+
+        ``None`` means some positive element never appeared -- the outer
+        search loop then stops entirely (later starts only see a smaller
+        suffix).  The run always completes before constraints are judged;
+        guard hits are accumulated into ``violated`` on the way.
+        """
+        states = self.states
+        n = len(activities)
+        flat: list[int] = []
+        violated = False
+        guard_armed = False
+        state = 0
+        absorbing = False
+        i = start
+        while i < n:
+            activity = activities[i]
+            current = states[state]
+            if absorbing:
+                nxt = states[state + 1] if state + 1 < len(states) else None
+                if nxt is not None and activity in nxt.types:
+                    # Kleene hand-off: the event both ends the absorption
+                    # and matches the next state.
+                    if guard_armed and nxt.guard:
+                        violated = True
+                    guard_armed = False
+                    flat.append(i)
+                    state += 1
+                    if states[state].kleene:
+                        absorbing = True
+                    else:
+                        absorbing = False
+                        state += 1
+                        if state == len(states):
+                            i += 1
+                            break
+                elif activity in current.types:
+                    flat.append(i)
+                    guard_armed = False  # negation scopes restart here
+                elif nxt is not None and activity in nxt.guard:
+                    guard_armed = True
+            elif activity in current.types:
+                if guard_armed and current.guard:
+                    violated = True
+                guard_armed = False
+                flat.append(i)
+                if current.kleene:
+                    absorbing = True
+                else:
+                    state += 1
+                    if state == len(states):
+                        i += 1
+                        break
+            elif activity in current.guard:
+                guard_armed = True
+            i += 1
+        if state < len(states) and not (
+            absorbing and state == len(states) - 1
+        ):
+            return None
+        # Trailing negations: scan the rest of the trace (bounded by the
+        # WITHIN window when one is set, anchored at the match start).
+        if self.trailing_guard:
+            last = flat[-1]
+            limit = (
+                timestamps[flat[0]] + self.pattern.within
+                if self.pattern.within is not None
+                else None
+            )
+            for j in range(last + 1, n):
+                if limit is not None and timestamps[j] > limit:
+                    break
+                if activities[j] in self.trailing_guard:
+                    violated = True
+                    break
+        return flat, violated

@@ -64,6 +64,29 @@ class SasePattern:
     def has_kleene(self) -> bool:
         return any(self.kleene)
 
+    def to_pattern(self):
+        """Bridge to the composite AST of :mod:`repro.core.pattern`.
+
+        Only STNM patterns translate -- the composite language is
+        skip-till-next-match by definition -- and the result evaluates
+        identically under both :class:`~repro.baselines.sase.nfa.Nfa`
+        and the composite engines (``find_matches`` / ``PatternNfa``).
+        """
+        from repro.core.pattern import Pattern, PatternElement
+
+        if self.strategy is not Policy.STNM:
+            raise ValueError(
+                "only STNM SASE patterns map onto the composite language; "
+                f"this pattern uses {self.strategy.value!r}"
+            )
+        return Pattern(
+            elements=tuple(
+                PatternElement(types=(name,), kleene=flag)
+                for name, flag in zip(self.event_types, self.kleene)
+            ),
+            within=self.within,
+        )
+
     def __len__(self) -> int:
         return len(self.event_types)
 

@@ -567,6 +567,126 @@ def exp_ablation_planner(
     return result
 
 
+def exp_pattern_language(
+    scale: float,
+    dataset: str = "max_10000",
+    patterns_per_kind: int = 8,
+    length: int = 4,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Composite patterns: indexed prune-then-verify vs the SASE oracle.
+
+    Not a paper experiment.  Runs the composite-pattern workload --
+    windowed / alternation / kleene / negation variants of gapped
+    subsequences of real traces -- through the pair-index
+    prune-then-verify path and through the SASE NFA full scan that
+    serves as its differential oracle.  Every match set is asserted
+    byte-identical between the two engines before timing, so the
+    speedup column only ever compares agreeing implementations.  Also
+    writes a ``BENCH_pattern_language.json`` perf-trajectory snapshot.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.bench.workloads import COMPOSITE_KINDS, composite_patterns
+    from repro.core.engine import SequenceIndex
+    from repro.kvstore import LSMStore
+
+    result = ExperimentResult(
+        "pattern_language",
+        f"Composite patterns: indexed vs SASE oracle ({dataset}, "
+        f"{length} positives)",
+        ["kind", "patterns", "sase s/query", "indexed s/query", "speedup"],
+    )
+    log = prepared_dataset(dataset, scale)
+    workdir = tempfile.mkdtemp(prefix="repro-pattern-language-")
+    snapshot_kinds = []
+    try:
+        store = LSMStore(workdir, memtable_flush_bytes=256 * 1024)
+        index = SequenceIndex(store, policy=Policy.STNM, query_cache_size=0)
+        index.update(log)
+        store.flush()
+        workload = composite_patterns(
+            log,
+            count=patterns_per_kind * len(COMPOSITE_KINDS),
+            length=length,
+            index=index,
+        )
+        oracle = SaseEngine(log)
+        for kind, pattern in workload:  # verification doubles as warm-up
+            indexed = {(m.trace_id, m.timestamps) for m in index.detect(pattern)}
+            expected = {(m.trace_id, m.timestamps) for m in oracle.query(pattern)}
+            if indexed != expected:  # pragma: no cover - differential guard
+                raise AssertionError(
+                    f"engines diverge on {pattern}: indexed-only "
+                    f"{sorted(indexed - expected)}, oracle-only "
+                    f"{sorted(expected - indexed)}"
+                )
+        total_sase = total_indexed = 0.0
+        total_queries = 0
+        for kind in COMPOSITE_KINDS:
+            patterns = [p for k, p in workload if k == kind]
+            queries = max(1, len(patterns) * repeats)
+            sase_s, _ = timed(
+                lambda: [
+                    oracle.query(p) for _ in range(repeats) for p in patterns
+                ]
+            )
+            indexed_s, _ = timed(
+                lambda: [
+                    index.detect(p) for _ in range(repeats) for p in patterns
+                ]
+            )
+            total_sase += sase_s
+            total_indexed += indexed_s
+            total_queries += queries
+            result.add(
+                kind,
+                len(patterns),
+                sase_s / queries,
+                indexed_s / queries,
+                sase_s / indexed_s if indexed_s else float("inf"),
+            )
+            snapshot_kinds.append(
+                {
+                    "kind": kind,
+                    "patterns": len(patterns),
+                    "sase_seconds_per_query": sase_s / queries,
+                    "indexed_seconds_per_query": indexed_s / queries,
+                    "speedup": sase_s / indexed_s if indexed_s else float("inf"),
+                }
+            )
+        result.add(
+            "all",
+            len(workload),
+            total_sase / total_queries,
+            total_indexed / total_queries,
+            total_sase / total_indexed if total_indexed else float("inf"),
+        )
+        store.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    snapshot = {
+        "experiment": "pattern_language",
+        "dataset": dataset,
+        "scale": scale,
+        "positive_elements": length,
+        "patterns_per_kind": patterns_per_kind,
+        "repeats": repeats,
+        "sase_seconds_per_query": total_sase / total_queries,
+        "indexed_seconds_per_query": total_indexed / total_queries,
+        "speedup": total_sase / total_indexed if total_indexed else float("inf"),
+        "kinds": snapshot_kinds,
+    }
+    with open("BENCH_pattern_language.json", "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    result.note("every match set verified identical to the SASE oracle")
+    result.note("snapshot: BENCH_pattern_language.json")
+    return result
+
+
 #: every experiment, keyed by the name used on the runner command line
 ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "table4": exp_table4,
@@ -582,4 +702,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "fig7": exp_fig7,
     "ablation_cache": exp_ablation_cache,
     "ablation_planner": exp_ablation_planner,
+    "pattern_language": exp_pattern_language,
 }

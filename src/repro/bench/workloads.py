@@ -8,6 +8,7 @@ from typing import Any, Callable
 
 from repro.core.engine import SequenceIndex
 from repro.core.model import EventLog
+from repro.core.pattern import Pattern
 from repro.core.policies import PairMethod, Policy
 from repro.executor import ParallelExecutor
 from repro.kvstore import InMemoryStore
@@ -101,6 +102,83 @@ def rare_pair_patterns(
 
     candidates.sort(key=rank)
     return candidates[:count]
+
+
+#: operator kinds cycled by :func:`composite_patterns`
+COMPOSITE_KINDS = ("windowed", "alternation", "kleene", "negation")
+
+
+def composite_patterns(
+    log: EventLog,
+    count: int,
+    seed: int = 0,
+    length: int = 4,
+    index: SequenceIndex | None = None,
+    pool: int | None = None,
+) -> list[tuple[str, Pattern]]:
+    """Composite-pattern workload: ``(kind, Pattern)`` pairs over real traces.
+
+    Cycles through :data:`COMPOSITE_KINDS`.  Every pattern starts from a
+    gapped subsequence of a real trace -- so the positive skeleton is known
+    to occur -- then applies one operator per kind:
+
+    * ``windowed`` -- the plain sequence under a ``WITHIN`` clause sized to
+      1.5x the sampled occurrence's span (tight enough to cut matches,
+      loose enough to keep the sampled one);
+    * ``alternation`` -- one middle element widened with a second real
+      activity;
+    * ``kleene`` -- one middle element suffixed with ``+``;
+    * ``negation`` -- a ``!X`` element (random real activity) inserted
+      between two positives.
+
+    With an ``index``, skeletons are sampled from a larger ``pool`` and the
+    ``count`` whose cheapest consecutive pair has the lowest ``Count`` are
+    kept -- the selective workload where prune-then-verify pays off (the
+    composite analogue of :func:`rare_pair_patterns`).
+    """
+    rng = random.Random(seed)
+    alphabet = sorted(log.activities())
+    traces = [trace for trace in log if len(trace) >= length]
+    if traces:
+        pool_size = (pool or max(count * 10, 50)) if index is not None else count
+        skeletons = []
+        for _ in range(pool_size):
+            trace = rng.choice(traces)
+            positions = sorted(rng.sample(range(len(trace)), length))
+            base = [trace.activities[p] for p in positions]
+            span = trace.timestamps[positions[-1]] - trace.timestamps[positions[0]]
+            skeletons.append((base, span))
+        if index is not None:
+
+            def rank(item: tuple[list[str], float]) -> int:
+                pairs = list(zip(item[0], item[0][1:]))
+                cards = index.tables.get_pair_counts(pairs)
+                return min(cards[pair][1] for pair in pairs)
+
+            skeletons.sort(key=rank)
+        skeletons = skeletons[:count]
+    else:
+        skeletons = [
+            ([rng.choice(alphabet) for _ in range(length)], float(length))
+            for _ in range(count)
+        ]
+    workload: list[tuple[str, Pattern]] = []
+    for i, (base, span) in enumerate(skeletons):
+        kind = COMPOSITE_KINDS[i % len(COMPOSITE_KINDS)]
+        mid = rng.randrange(1, length - 1) if length > 2 else length - 1
+        elements = list(base)
+        within = None
+        if kind == "windowed":
+            within = max(span, 1.0) * 1.5
+        elif kind == "alternation":
+            others = [a for a in alphabet if a != elements[mid]]
+            elements[mid] = f"({elements[mid]}|{rng.choice(others or alphabet)})"
+        elif kind == "kleene":
+            elements[mid] = f"{elements[mid]}+"
+        else:  # negation
+            elements.insert(mid, f"!{rng.choice(alphabet)}")
+        workload.append((kind, Pattern.of(*elements, within=within)))
+    return workload
 
 
 def contiguous_patterns(

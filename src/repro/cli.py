@@ -5,11 +5,13 @@ Examples::
     python -m repro generate --dataset med_5000 --scale 0.1 --out log.csv
     python -m repro index --log log.csv --store ./ix --policy stnm
     python -m repro detect --store ./ix A,B,C --explain --profile
+    python -m repro detect --store ./ix --pattern "SEQ(A, !B, (C|D)+) WITHIN 10"
     python -m repro stats  --store ./ix A,B,C
     python -m repro continue --store ./ix A,B --mode hybrid --top-k 5
     python -m repro profile --log log.csv --store ./ix
     python -m repro metrics --store ./ix
     python -m repro faults --seed 1234
+    python -m repro diffcheck --seeds 0:500
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ import argparse
 import sys
 
 from repro.core.engine import SequenceIndex
+from repro.core.errors import PatternSyntaxError
+from repro.core.pattern import parse_pattern
 from repro.core.policies import PairMethod, Policy
 from repro.executor import ParallelExecutor
 from repro.kvstore import LSMStore
@@ -80,7 +84,26 @@ def cmd_index(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
-    pattern = _pattern(args.pattern)
+    if args.expr is not None:
+        if args.pattern is not None:
+            raise SystemExit(
+                "give either a positional pattern or --pattern, not both"
+            )
+        if args.stam or args.within is not None:
+            raise SystemExit(
+                "--stam/--within apply to plain patterns only; composite "
+                "expressions carry their window inside (... WITHIN 10)"
+            )
+        try:
+            pattern = parse_pattern(args.expr)
+        except PatternSyntaxError as exc:
+            raise SystemExit(f"bad pattern expression: {exc}") from None
+    elif args.pattern is not None:
+        pattern = _pattern(args.pattern)
+    else:
+        raise SystemExit(
+            "detect needs a pattern: positional A,B,C or --pattern 'SEQ(...)'"
+        )
     with _open_index(args) as index:
         policy = Policy.STAM if args.stam else None
         partition = args.partition if args.partition else None
@@ -225,6 +248,39 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_diffcheck(args: argparse.Namespace) -> int:
+    """Differential check: indexed pattern queries vs the SASE oracle.
+
+    ``--seed N`` replays the single seed a failing test printed (with the
+    shrunk counterexample); ``--seeds A:B`` sweeps a half-open range.
+    Exit status 0 means both engines agreed on every case.
+    """
+    from repro.difftest import run_case
+
+    if args.seed is not None:
+        seeds: list[int] | range = [args.seed]
+    else:
+        spec = args.seeds or "0:200"
+        try:
+            start, stop = (int(part) for part in spec.split(":", 1))
+        except ValueError:
+            raise SystemExit("--seeds expects A:B, e.g. 0:500") from None
+        seeds = range(start, stop)
+    total = 0
+    failures = 0
+    for seed in seeds:
+        result = run_case(seed)
+        total += 1
+        if result.ok:
+            if args.seed is not None or args.verbose:
+                print(result.report())
+        else:
+            failures += 1
+            print(result.report())
+    print(f"{total} seeds, {failures} divergences")
+    return 1 if failures else 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     if args.log is None and args.store is None:
         raise SystemExit("profile requires --log and/or --store")
@@ -295,7 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
     idx.set_defaults(fn=cmd_index)
 
     det = sub.add_parser("detect", help="detect a pattern")
-    det.add_argument("pattern", help="comma-separated activities, e.g. A,B,C")
+    det.add_argument(
+        "pattern",
+        nargs="?",
+        default=None,
+        help="comma-separated activities, e.g. A,B,C",
+    )
+    det.add_argument(
+        "--pattern",
+        dest="expr",
+        default=None,
+        help="composite pattern expression, e.g. 'SEQ(A, !B, (C|D)+) WITHIN 10'",
+    )
     add_store_args(det)
     det.add_argument("--partition", default="", help="partition ('' = default)")
     det.add_argument("--stam", action="store_true", help="skip-till-any-match")
@@ -364,6 +431,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="run in this directory and keep it (default: temp dir, removed)",
     )
     flt.set_defaults(fn=cmd_faults)
+
+    dif = sub.add_parser(
+        "diffcheck",
+        help="differentially test indexed pattern queries vs the SASE oracle",
+    )
+    dif.add_argument("--seed", type=int, default=None, help="one seed to replay")
+    dif.add_argument(
+        "--seeds", default=None, help="half-open seed range to sweep, e.g. 0:500"
+    )
+    dif.add_argument(
+        "--verbose", action="store_true", help="print passing seeds too"
+    )
+    dif.set_defaults(fn=cmd_diffcheck)
     return parser
 
 

@@ -23,13 +23,16 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.core.builder import IndexBuilder, UpdateStats
 from repro.core.continuation import ContinuationExplorer
+from repro.core.errors import PolicyMismatchError
 from repro.core.matches import (
     ContinuationProposal,
     PatternMatch,
+    PatternPlan,
     PatternStats,
     QueryPlan,
 )
 from repro.core.model import Event, EventLog
+from repro.core.pattern import Pattern, parse_pattern
 from repro.core.policies import PairMethod, Policy
 from repro.core.query import QueryProcessor
 from repro.executor import ParallelExecutor
@@ -81,6 +84,7 @@ class SequenceIndex:
         executor: ParallelExecutor | None = None,
         query_cache_size: int = 128,
         postings_cache_size: int = 64,
+        sequence_cache_size: int = 256,
         planner: bool = True,
         batched_reads: bool = True,
         slow_query_threshold: float | None = None,
@@ -92,9 +96,13 @@ class SequenceIndex:
         self._postings_cache = (
             LRUCache(postings_cache_size) if postings_cache_size > 0 else None
         )
+        self._sequence_cache = (
+            LRUCache(sequence_cache_size) if sequence_cache_size > 0 else None
+        )
         self.query = QueryProcessor(
             self.tables,
             postings_cache=self._postings_cache,
+            sequence_cache=self._sequence_cache,
             generation=lambda: self._generation,
             planner_enabled=planner,
         )
@@ -136,6 +144,10 @@ class SequenceIndex:
         """Hit/miss/eviction counters of the decoded-postings cache."""
         return self._postings_cache.stats() if self._postings_cache is not None else {}
 
+    def sequence_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the decoded-sequence cache."""
+        return self._sequence_cache.stats() if self._sequence_cache is not None else {}
+
     def slow_queries(self) -> list[SlowQueryEntry]:
         """Recent slow queries (empty when no threshold is configured)."""
         return self.slow_query_log.entries if self.slow_query_log is not None else []
@@ -148,6 +160,7 @@ class SequenceIndex:
         for prefix, stats in (
             ("repro_query_cache", self.query_cache_stats()),
             ("repro_postings_cache", self.postings_cache_stats()),
+            ("repro_sequence_cache", self.sequence_cache_stats()),
         ):
             if stats:
                 samples[f"{prefix}_hits_total"] = stats.get("hits", 0)
@@ -245,9 +258,52 @@ class SequenceIndex:
 
     # -- queries ----------------------------------------------------------------------
 
+    def _composite(self, pattern: object) -> Pattern | None:
+        """Route :class:`Pattern` objects and expression strings.
+
+        Plain lists/tuples of activities keep the Algorithm 2 chain-join
+        path; a :class:`~repro.core.pattern.Pattern` or a pattern
+        expression string (``"SEQ(A, !B, (C|D)+) WITHIN 10"``) takes the
+        composite prune-then-verify path.
+        """
+        if isinstance(pattern, Pattern):
+            return pattern
+        if isinstance(pattern, str):
+            return parse_pattern(pattern)
+        return None
+
+    def _check_composite(
+        self, policy: Policy | None = None, within: float | None = None
+    ) -> None:
+        """Guard composite-pattern queries against unsupported arguments.
+
+        Composite semantics are skip-till-next-match by definition and the
+        pair-index pruning is sound only over STNM pairs (an SC index
+        records strictly-contiguous pairs, so a trace can match a composite
+        pattern while holding none of its index pairs).  The window lives
+        in the expression (``WITHIN``), not in the ``within=`` post-filter.
+        """
+        if policy is not None:
+            raise ValueError(
+                "composite patterns fix the skip-till-next-match strategy; "
+                "the policy argument applies to plain sequence patterns only"
+            )
+        if within is not None:
+            raise ValueError(
+                "composite patterns carry their window inside the expression "
+                "(WITHIN ...); the within= argument applies to plain "
+                "sequence patterns only"
+            )
+        if self.policy is not Policy.STNM:
+            raise PolicyMismatchError(
+                "composite pattern queries need an index built with "
+                f"Policy.STNM; this index uses {self.policy.value!r}, whose "
+                "pairs cannot prune skip-till-next-match candidates soundly"
+            )
+
     def detect(
         self,
-        pattern: Sequence[str],
+        pattern: Sequence[str] | Pattern | str,
         partition: str | None = "",
         policy: Policy | None = None,
         max_matches: int | None = None,
@@ -256,10 +312,15 @@ class SequenceIndex:
         explain_profile: bool = False,
     ) -> (
         list[PatternMatch]
-        | tuple[list[PatternMatch], QueryPlan]
-        | tuple[list[PatternMatch], QueryPlan, QueryProfile]
+        | tuple[list[PatternMatch], QueryPlan | PatternPlan]
+        | tuple[list[PatternMatch], QueryPlan | PatternPlan, QueryProfile]
     ):
         """All completions of ``pattern`` (Algorithm 2).
+
+        ``pattern`` may also be a :class:`~repro.core.pattern.Pattern` or a
+        pattern expression string -- e.g. ``"SEQ(A, !B, (C|D)+) WITHIN 10"``
+        -- which routes to the composite prune-then-verify path (requires a
+        STNM index; ``policy``/``within`` must stay unset).
 
         With ``explain=True`` the return value is ``(matches, plan)`` where
         ``plan`` records the pair cardinalities and join order the planner
@@ -268,8 +329,46 @@ class SequenceIndex:
         (implies ``explain``) additionally runs the detection under a fresh
         tracer and returns ``(matches, plan, profile)``, where ``profile``
         breaks the call into stages (plan / fetch_postings / intersect /
-        join / materialize).
+        join / materialize -- or plan / fetch_postings / intersect / verify
+        on the composite path).
         """
+        composite = self._composite(pattern)
+        if composite is not None:
+            self._check_composite(policy, within)
+            detail = f"pattern={str(composite)!r} partition={partition!r}"
+            if explain_profile:
+                tracer = Tracer()
+                with activate(tracer):
+                    matches = self._observe_query(
+                        "query.detect",
+                        detail,
+                        lambda: self.query.detect_pattern(
+                            composite, partition, max_matches
+                        ),
+                    )
+                plan = self.query.plan_pattern(composite, partition)
+                profile = profile_from_tracer(tracer, "query.detect")
+                return matches, plan, profile
+            if explain:
+                plan = self.query.plan_pattern(composite, partition)
+                matches = self._observe_query(
+                    "query.detect",
+                    detail,
+                    lambda: self.query.detect_pattern(
+                        composite, partition, max_matches
+                    ),
+                )
+                return matches, plan
+            return self._observe_query(
+                "query.detect",
+                detail,
+                lambda: self._cached(
+                    ("detect", composite, partition, max_matches),
+                    lambda: self.query.detect_pattern(
+                        composite, partition, max_matches
+                    ),
+                ),
+            )
         detail = f"pattern={list(pattern)!r} partition={partition!r}"
         if explain_profile:
             tracer = Tracer()
@@ -306,9 +405,13 @@ class SequenceIndex:
         )
 
     def explain(
-        self, pattern: Sequence[str], partition: str | None = ""
-    ) -> QueryPlan:
+        self, pattern: Sequence[str] | Pattern | str, partition: str | None = ""
+    ) -> QueryPlan | PatternPlan:
         """The execution plan a detection of ``pattern`` would use."""
+        composite = self._composite(pattern)
+        if composite is not None:
+            self._check_composite()
+            return self.query.plan_pattern(composite, partition)
         if len(pattern) < 2:
             # Length-0/1 patterns never reach the join; report a trivial plan.
             return QueryPlan(
@@ -323,11 +426,22 @@ class SequenceIndex:
 
     def count(
         self,
-        pattern: Sequence[str],
+        pattern: Sequence[str] | Pattern | str,
         partition: str | None = "",
         within: float | None = None,
     ) -> int:
         """Number of completions of ``pattern``."""
+        composite = self._composite(pattern)
+        if composite is not None:
+            self._check_composite(within=within)
+            return self._observe_query(
+                "query.count",
+                f"pattern={str(composite)!r} partition={partition!r}",
+                lambda: self._cached(
+                    ("count", composite, partition),
+                    lambda: self.query.count_pattern(composite, partition),
+                ),
+            )
         return self._observe_query(
             "query.count",
             f"pattern={list(pattern)!r} partition={partition!r}",
@@ -343,8 +457,21 @@ class SequenceIndex:
         """Completions of the pattern and every prefix (free by-product)."""
         return self.query.detect_with_prefixes(pattern, partition)
 
-    def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
+    def contains(
+        self, pattern: Sequence[str] | Pattern | str, partition: str | None = ""
+    ) -> list[str]:
         """Ids of traces containing ``pattern``."""
+        composite = self._composite(pattern)
+        if composite is not None:
+            self._check_composite()
+            return self._observe_query(
+                "query.contains",
+                f"pattern={str(composite)!r} partition={partition!r}",
+                lambda: self._cached(
+                    ("contains", composite, partition),
+                    lambda: self.query.contains_pattern(composite, partition),
+                ),
+            )
         return self._observe_query(
             "query.contains",
             f"pattern={list(pattern)!r} partition={partition!r}",

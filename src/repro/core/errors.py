@@ -14,6 +14,7 @@ __all__ = [
     "ReproError",
     "TraceOrderError",
     "EmptyPatternError",
+    "PatternSyntaxError",
     "PolicyMismatchError",
     "IndexStateError",
     "CorruptionError",
@@ -31,6 +32,10 @@ class TraceOrderError(ReproError):
 
 class EmptyPatternError(ReproError):
     """A query pattern was empty or too short for the requested operation."""
+
+
+class PatternSyntaxError(ReproError):
+    """A pattern expression could not be parsed or is structurally invalid."""
 
 
 class PolicyMismatchError(ReproError):

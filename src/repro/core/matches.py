@@ -170,5 +170,58 @@ class QueryPlan:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class PatternPlan:
+    """How the query processor decided to execute one composite-pattern query.
+
+    Composite patterns (alternation, Kleene, negation, WITHIN -- see
+    :mod:`repro.core.pattern`) are executed as *prune-then-verify*: the
+    pair index intersects candidate traces, then the pattern evaluator
+    verifies each survivor.  ``groups[i]`` holds the index pairs derived
+    from the ``i``-th adjacency of *positive* elements -- one pair per
+    combination of the two elements' alternation branches, so a group's
+    ``cardinalities[i]`` is the **sum of its branch-pair counts** (an
+    upper bound on traces holding the adjacency).  Negated elements are
+    skipped when deriving adjacencies: a negation must never prune (a
+    zero-count forbidden pair would otherwise wrongly empty the query),
+    so they appear only in ``negated`` for display.  ``order`` is the
+    pruning order (cheapest group first under the planner); a group with
+    cardinality zero proves the whole query empty -- but only because
+    every group is a *positive* requirement.
+    """
+
+    pattern: "object"
+    groups: tuple[tuple[tuple[str, str], ...], ...]
+    cardinalities: tuple[int, ...]
+    order: tuple[int, ...]
+    reordered: bool
+    negated: tuple[str, ...] = ()
+    partition: str | None = ""
+
+    @property
+    def estimated_cost(self) -> int:
+        """Planner cost proxy: the rarest group bounds the candidate set."""
+        return min(self.cardinalities, default=0)
+
+    def describe(self) -> str:
+        """One line per pruning step, for ``detect --pattern --explain``."""
+        lines = [f"pattern {self.pattern}"]
+        for step, idx in enumerate(self.order):
+            branches = " | ".join(f"{a} -> {b}" for a, b in self.groups[idx])
+            lines.append(
+                f"step {step}: group {idx} ({branches}) "
+                f"cardinality={self.cardinalities[idx]}"
+            )
+        if not self.groups:
+            lines.append("no positive adjacency: full sequence scan")
+        for name in self.negated:
+            lines.append(f"negated element {name}: verification only, no pruning")
+        lines.append(
+            f"order={'reordered' if self.reordered else 'left-to-right'} "
+            f"bound={self.estimated_cost} candidate completions"
+        )
+        return "\n".join(lines)
+
+
 #: alias kept for symmetry with the paper's wording ("completions")
 Completion = PatternMatch

@@ -39,7 +39,14 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.core.errors import EmptyPatternError
-from repro.core.matches import PairStats, PatternMatch, PatternStats, QueryPlan
+from repro.core.matches import (
+    PairStats,
+    PatternMatch,
+    PatternPlan,
+    PatternStats,
+    QueryPlan,
+)
+from repro.core.pattern import Pattern, find_matches
 from repro.core.policies import Policy
 from repro.core.tables import IndexTables
 from repro.obs.trace import current_tracer
@@ -140,19 +147,25 @@ class QueryProcessor:
     ``postings_cache`` is an optional LRU of decoded/grouped posting lists
     keyed by ``(generation, partition, pair)``; ``generation`` supplies the
     owning index's write generation so a batch update invalidates by
-    construction.  ``planner_enabled=False`` pins every detection to naive
-    left-to-right evaluation (the ablation baseline and the prefix path).
+    construction.  ``sequence_cache`` is the same idea for decoded Seq-table
+    rows, keyed ``(generation, trace_id)`` -- composite-pattern verification
+    re-reads the same candidate traces across queries, and decoding a long
+    sequence document dominates the verify stage when served cold.
+    ``planner_enabled=False`` pins every detection to naive left-to-right
+    evaluation (the ablation baseline and the prefix path).
     """
 
     def __init__(
         self,
         tables: IndexTables,
         postings_cache=None,
+        sequence_cache=None,
         generation: Callable[[], int] | None = None,
         planner_enabled: bool = True,
     ) -> None:
         self.tables = tables
         self.postings_cache = postings_cache
+        self.sequence_cache = sequence_cache
         self._generation = generation if generation is not None else lambda: 0
         self.planner_enabled = planner_enabled
         # Decoded Count rows keyed (generation, first_event).  Decoding a
@@ -464,6 +477,221 @@ class QueryProcessor:
                     found.append(trace_id)
                     break
         return found
+
+    # -- composite patterns (prune-then-verify) ----------------------------------
+
+    def plan_pattern(
+        self, pattern: Pattern, partition: str | None = ""
+    ) -> PatternPlan:
+        """Build the pruning plan for a composite-pattern query.
+
+        Each adjacency of *positive* elements becomes one pruning group
+        holding every branch pair of the two elements' alternation sets;
+        the group's cardinality is the sum of its branch-pair ``Count``
+        entries (alternation cardinality is additive).  Negated elements
+        are skipped entirely -- a forbidden pair with zero count must not
+        prune the query -- and Kleene elements prune like their plain
+        selves (a single occurrence satisfies ``+``, so only the base
+        pair is required).  Groups intersect cheapest-first under the
+        planner, exactly like pair posting lists in :meth:`plan`.
+        """
+        span = current_tracer().span("plan")
+        with span:
+            elements = pattern.elements
+            positives = pattern.positive_indices
+            groups: list[tuple[tuple[str, str], ...]] = []
+            for left, right in zip(positives, positives[1:]):
+                groups.append(
+                    tuple(
+                        (a, b)
+                        for a in elements[left].types
+                        for b in elements[right].types
+                    )
+                )
+            flat = tuple(pair for group in groups for pair in group)
+            flat_cards = self._cardinalities(flat) if flat else ()
+            cardinalities: list[int] = []
+            offset = 0
+            for group in groups:
+                cardinalities.append(sum(flat_cards[offset : offset + len(group)]))
+                offset += len(group)
+            natural = tuple(range(len(groups)))
+            if self.planner_enabled:
+                order = tuple(
+                    sorted(natural, key=lambda i: (cardinalities[i], i))
+                )
+            else:
+                order = natural
+            if span.enabled:
+                span.add("groups", len(groups))
+                span.add("min_cardinality", min(cardinalities, default=0))
+            return PatternPlan(
+                pattern=pattern,
+                groups=tuple(groups),
+                cardinalities=tuple(cardinalities),
+                order=order,
+                reordered=order != natural,
+                negated=tuple(str(e) for e in elements if e.negated),
+                partition=partition,
+            )
+
+    def detect_pattern(
+        self,
+        pattern: Pattern,
+        partition: str | None = "",
+        max_matches: int | None = None,
+    ) -> list[PatternMatch]:
+        """All matches of a composite ``pattern`` (STNM-greedy semantics).
+
+        The pair index prunes: a zero-cardinality *positive* adjacency
+        proves the result empty before any posting list is read, and the
+        surviving groups' trace sets are intersected cheapest-first.
+        Candidates are then verified against their stored sequences with
+        :func:`repro.core.pattern.find_matches`, enforcing windows and
+        negations from the indexed timestamps.  Semantics match the SASE
+        oracle (:class:`repro.baselines.sase.nfa.PatternNfa`) exactly --
+        the differential suite holds the two paths byte-identical.
+        """
+        plan = self.plan_pattern(pattern, partition)
+        if plan.groups and 0 in plan.cardinalities:
+            return []
+        self._note_executed(plan)
+        candidates = self._pattern_candidates(plan)
+        if candidates is not None and not candidates:
+            return []
+        span = current_tracer().span("verify")
+        with span:
+            matches: list[PatternMatch] = []
+            scanned = 0
+            for trace_id, seq in self._candidate_sequences(candidates):
+                budget = None if max_matches is None else max_matches - len(matches)
+                if budget is not None and budget <= 0:
+                    break
+                activities = [activity for activity, _ in seq]
+                stamps = [ts for _, ts in seq]
+                for span_ts in find_matches(activities, stamps, pattern, budget):
+                    matches.append(PatternMatch(trace_id, span_ts))
+                scanned += 1
+            if span.enabled:
+                span.add("traces", scanned)
+                span.add("matches", len(matches))
+            return matches
+
+    def count_pattern(self, pattern: Pattern, partition: str | None = "") -> int:
+        """Number of matches of a composite ``pattern``.
+
+        Same pruning as :meth:`detect_pattern`; no
+        :class:`PatternMatch` is materialized per completion, and a
+        zero-cardinality positive group short-circuits before any trace
+        sequence is fetched.
+        """
+        plan = self.plan_pattern(pattern, partition)
+        if plan.groups and 0 in plan.cardinalities:
+            return 0
+        self._note_executed(plan)
+        candidates = self._pattern_candidates(plan)
+        if candidates is not None and not candidates:
+            return 0
+        total = 0
+        for _, seq in self._candidate_sequences(candidates):
+            activities = [activity for activity, _ in seq]
+            stamps = [ts for _, ts in seq]
+            total += len(find_matches(activities, stamps, pattern))
+        return total
+
+    def contains_pattern(
+        self, pattern: Pattern, partition: str | None = ""
+    ) -> list[str]:
+        """Ids of traces with at least one match of a composite ``pattern``.
+
+        Short-circuits per trace at the first match that survives every
+        window and negation check.
+        """
+        plan = self.plan_pattern(pattern, partition)
+        if plan.groups and 0 in plan.cardinalities:
+            return []
+        self._note_executed(plan)
+        candidates = self._pattern_candidates(plan)
+        if candidates is not None and not candidates:
+            return []
+        found: list[str] = []
+        for trace_id, seq in self._candidate_sequences(candidates):
+            activities = [activity for activity, _ in seq]
+            stamps = [ts for _, ts in seq]
+            if find_matches(activities, stamps, pattern, max_matches=1):
+                found.append(trace_id)
+        return found
+
+    def _pattern_candidates(self, plan: PatternPlan) -> set[str] | None:
+        """Traces surviving pair-index pruning; ``None`` = nothing to prune.
+
+        Posting lists of every group pair are fetched in one batched read
+        (through the decoded-postings cache where attached), each group's
+        trace set is the union of its branch pairs' sets (alternation),
+        and groups intersect in plan order -- cheapest first -- with an
+        empty-set early exit.
+        """
+        if not plan.groups:
+            return None
+        pair_sets: dict[tuple[str, str], set[str]] = {}
+        span = current_tracer().span("fetch_postings")
+        with span:
+            unique = list(
+                dict.fromkeys(pair for group in plan.groups for pair in group)
+            )
+            missing: list[tuple[str, str]] = []
+            for pair in unique:
+                hit = self._postings_cache_get(pair, plan.partition)
+                if hit is not None:
+                    pair_sets[pair] = set(hit)
+                else:
+                    missing.append(pair)
+            if missing:
+                fetched = self.tables.get_index_many(missing, plan.partition)
+                for pair in missing:
+                    pair_sets[pair] = {entry[0] for entry in fetched[pair]}
+            if span.enabled:
+                span.add("pairs", len(unique))
+                span.add("cache_hits", len(unique) - len(missing))
+                span.add("fetched", len(missing))
+        span = current_tracer().span("intersect")
+        with span:
+            survivors: set[str] | None = None
+            for idx in plan.order:
+                traces: set[str] = set()
+                for pair in plan.groups[idx]:
+                    traces |= pair_sets[pair]
+                survivors = traces if survivors is None else survivors & traces
+                if not survivors:
+                    survivors = set()
+                    break
+            result = survivors if survivors is not None else set()
+            if span.enabled:
+                span.add("sets", len(plan.groups))
+                span.add("survivors", len(result))
+            return result
+
+    def _candidate_sequences(self, candidates: set[str] | None):
+        """Stored ``(trace_id, sequence)`` rows for verification, id-ordered."""
+        if candidates is None:
+            yield from sorted(self.tables.iter_sequences())
+        else:
+            for trace_id in sorted(candidates):
+                yield trace_id, self._get_sequence(trace_id)
+
+    def _get_sequence(self, trace_id: str):
+        """One decoded Seq-table row, through the sequence cache if attached."""
+        if self.sequence_cache is None:
+            return self.tables.get_sequence(trace_id)
+        key = (self._generation(), trace_id)
+        hit = self.sequence_cache.get(key, _MISS)
+        if hit is not _MISS:
+            self._bump("sequence_cache_hits")
+            return hit
+        self._bump("sequence_cache_misses")
+        seq = self.tables.get_sequence(trace_id)
+        self.sequence_cache.put(key, seq)
+        return seq
 
     # -- internals ---------------------------------------------------------------------
 

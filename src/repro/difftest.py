@@ -1,0 +1,254 @@
+"""Differential testing harness: indexed pattern queries vs the SASE oracle.
+
+The composite pattern language has two deliberately independent
+implementations -- the prune-then-verify indexed path
+(:meth:`repro.core.engine.SequenceIndex.detect` via
+:func:`repro.core.pattern.find_matches`) and the streaming automaton
+oracle (:class:`repro.baselines.sase.nfa.PatternNfa` via
+:meth:`repro.baselines.sase.engine.SaseEngine.query`).  This module pits
+them against each other on seeded random inputs:
+
+1. ``run_case(seed)`` derives a random log and a random composite pattern
+   from one integer seed, evaluates both engines, and compares the full
+   match sets (trace id + timestamp tuple, byte for byte);
+2. on divergence, :func:`shrink` greedily minimizes the log and the
+   pattern while preserving the disagreement, so the report shows a
+   near-minimal counterexample;
+3. every failure renders a one-line reproducer --
+   ``python -m repro diffcheck --seed N`` -- that replays the exact case.
+
+The same entry points back the ``diffcheck`` CLI subcommand and the
+property-based suite in ``tests/core/test_differential.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.baselines.sase.engine import SaseEngine
+from repro.core.engine import SequenceIndex
+from repro.core.model import Event, EventLog, Trace
+from repro.core.pattern import Pattern, PatternElement
+from repro.core.policies import Policy
+
+#: Small alphabet on purpose: collisions between pattern and log types are
+#: what exercise skip/absorb/guard interactions.
+ALPHABET = ("A", "B", "C", "D", "E")
+
+#: (trace id -> [(activity, timestamp), ...]) -- the shrinkable log form.
+CaseLog = dict[str, list[tuple[str, float]]]
+
+
+# -- generators (everything derives from one integer seed) -------------------
+
+
+def random_log(
+    rng: random.Random,
+    alphabet: tuple[str, ...] = ALPHABET,
+    max_traces: int = 8,
+    max_events: int = 16,
+) -> CaseLog:
+    """A random log with integer-gap timestamps (gaps 1..4).
+
+    Non-unit gaps matter: they separate "window counts events" bugs from
+    "window compares timestamps" correctness.
+    """
+    log: CaseLog = {}
+    for t in range(rng.randint(1, max_traces)):
+        ts = 0.0
+        events: list[tuple[str, float]] = []
+        for _ in range(rng.randint(0, max_events)):
+            events.append((rng.choice(alphabet), ts))
+            ts += rng.randint(1, 4)
+        log[f"t{t}"] = events
+    return log
+
+
+def random_pattern(
+    rng: random.Random,
+    alphabet: tuple[str, ...] = ALPHABET,
+    max_elements: int = 5,
+) -> Pattern:
+    """A random composite pattern exercising every operator.
+
+    Elements are negated with p=0.25 (never the first -- the language
+    requires a positive anchor), Kleene with p=0.25, and alternations of
+    up to three types with p=0.3; a WITHIN window is attached with p=0.4.
+    """
+    elements: list[PatternElement] = []
+    count = rng.randint(1, max_elements)
+    for i in range(count):
+        if rng.random() < 0.3:
+            types = tuple(rng.sample(alphabet, rng.randint(2, 3)))
+        else:
+            types = (rng.choice(alphabet),)
+        negated = i > 0 and rng.random() < 0.25
+        kleene = not negated and rng.random() < 0.25
+        elements.append(PatternElement(types=types, kleene=kleene, negated=negated))
+    within = float(rng.randint(2, 20)) if rng.random() < 0.4 else None
+    return Pattern(elements=tuple(elements), within=within)
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def _to_event_log(log: CaseLog) -> EventLog:
+    return EventLog(
+        Trace(tid, (Event(tid, act, ts) for act, ts in events))
+        for tid, events in log.items()
+    )
+
+
+def evaluate_both(
+    log: CaseLog, pattern: Pattern
+) -> tuple[set[tuple[str, tuple[float, ...]]], set[tuple[str, tuple[float, ...]]]]:
+    """(indexed matches, oracle matches) as comparable sets."""
+    event_log = _to_event_log(log)
+    with SequenceIndex(policy=Policy.STNM) as index:
+        index.update(event_log)
+        indexed = {
+            (m.trace_id, m.timestamps) for m in index.detect(pattern)
+        }
+    oracle = {
+        (m.trace_id, m.timestamps)
+        for m in SaseEngine(event_log).query(pattern)
+    }
+    return indexed, oracle
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one differential case (after shrinking, when it failed)."""
+
+    seed: int
+    pattern: Pattern
+    log: CaseLog
+    indexed: set = field(repr=False)
+    oracle: set = field(repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.indexed == self.oracle
+
+    @property
+    def reproducer(self) -> str:
+        return f"python -m repro diffcheck --seed {self.seed}"
+
+    def report(self) -> str:
+        """Human-readable divergence report with the shrunk counterexample."""
+        if self.ok:
+            return f"seed {self.seed}: ok ({len(self.oracle)} matches)"
+        lines = [
+            f"seed {self.seed}: DIVERGENCE",
+            f"  pattern: {self.pattern}",
+            "  log (shrunk):",
+        ]
+        for tid, events in sorted(self.log.items()):
+            rendered = " ".join(f"{act}@{ts:g}" for act, ts in events)
+            lines.append(f"    {tid}: {rendered or '(empty)'}")
+        lines.append(f"  indexed only: {sorted(self.indexed - self.oracle)}")
+        lines.append(f"  oracle only:  {sorted(self.oracle - self.indexed)}")
+        lines.append(f"  reproduce: {self.reproducer}")
+        return "\n".join(lines)
+
+
+def run_case(seed: int, shrink_failures: bool = True) -> CaseResult:
+    """Generate, evaluate and (on divergence) shrink one seeded case."""
+    rng = random.Random(seed)
+    log = random_log(rng)
+    pattern = random_pattern(rng)
+    indexed, oracle = evaluate_both(log, pattern)
+    if indexed != oracle and shrink_failures:
+        log, pattern = shrink(log, pattern)
+        indexed, oracle = evaluate_both(log, pattern)
+    return CaseResult(seed, pattern, log, indexed, oracle)
+
+
+def run_sweep(
+    seeds: range | list[int], fail_fast: bool = True
+) -> list[CaseResult]:
+    """Run many seeded cases; with ``fail_fast`` stop at the first divergence."""
+    results = []
+    for seed in seeds:
+        result = run_case(seed)
+        results.append(result)
+        if not result.ok and fail_fast:
+            break
+    return results
+
+
+# -- shrinking ---------------------------------------------------------------
+
+
+def _diverges(log: CaseLog, pattern: Pattern) -> bool:
+    if not log:
+        return False
+    indexed, oracle = evaluate_both(log, pattern)
+    return indexed != oracle
+
+
+def _pattern_candidates(pattern: Pattern):
+    """Strictly simpler patterns, most aggressive first."""
+    elements = pattern.elements
+    if pattern.within is not None:
+        yield Pattern(elements=elements, within=None)
+    for i in range(len(elements)):
+        rest = elements[:i] + elements[i + 1 :]
+        if rest and not rest[0].negated:
+            yield Pattern(elements=rest, within=pattern.within)
+    for i, elem in enumerate(elements):
+        if len(elem.types) > 1:
+            for j in range(len(elem.types)):
+                types = elem.types[:j] + elem.types[j + 1 :]
+                slim = PatternElement(
+                    types=types, kleene=elem.kleene, negated=elem.negated
+                )
+                yield Pattern(
+                    elements=elements[:i] + (slim,) + elements[i + 1 :],
+                    within=pattern.within,
+                )
+        if elem.kleene:
+            plain = PatternElement(types=elem.types)
+            yield Pattern(
+                elements=elements[:i] + (plain,) + elements[i + 1 :],
+                within=pattern.within,
+            )
+
+
+def _log_candidates(log: CaseLog):
+    """Strictly smaller logs: drop a trace, then drop single events."""
+    for tid in list(log):
+        smaller = {k: v for k, v in log.items() if k != tid}
+        if smaller:
+            yield smaller
+    for tid, events in log.items():
+        for i in range(len(events)):
+            yield {
+                k: (v[:i] + v[i + 1 :] if k == tid else v)
+                for k, v in log.items()
+            }
+
+
+def shrink(log: CaseLog, pattern: Pattern) -> tuple[CaseLog, Pattern]:
+    """Greedily minimize a diverging case while it keeps diverging.
+
+    Alternates pattern- and log-level reductions to a fixpoint; every
+    accepted step strictly shrinks the case, so termination is bounded by
+    the total size.  The result is locally minimal (no single reduction
+    preserves the divergence), which in practice is small enough to read.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _pattern_candidates(pattern):
+            if _diverges(log, candidate):
+                pattern = candidate
+                changed = True
+                break
+        for candidate in _log_candidates(log):
+            if _diverges(candidate, pattern):
+                log = candidate
+                changed = True
+                break
+    return log, pattern

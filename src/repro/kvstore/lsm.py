@@ -141,6 +141,8 @@ class StoreMetrics:
         "multi_get_batches",
         "postings_cache_hits",
         "postings_cache_misses",
+        "sequence_cache_hits",
+        "sequence_cache_misses",
         "planner_reorders",
     )
 

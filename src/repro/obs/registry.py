@@ -64,6 +64,14 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter",
         "Decoded-postings cache misses (bumped by the query layer).",
     ),
+    "repro_store_sequence_cache_hits_total": (
+        "counter",
+        "Decoded-sequence cache hits (bumped by the query layer).",
+    ),
+    "repro_store_sequence_cache_misses_total": (
+        "counter",
+        "Decoded-sequence cache misses (bumped by the query layer).",
+    ),
     "repro_store_planner_reorders_total": (
         "counter",
         "Executed plans that deviated from left-to-right order.",
@@ -82,6 +90,22 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     "repro_query_cache_entries": ("gauge", "Query-result cache entries."),
     "repro_postings_cache_hits_total": ("counter", "Postings-LRU hits."),
     "repro_postings_cache_misses_total": ("counter", "Postings-LRU misses."),
+    "repro_sequence_cache_hits_total": (
+        "counter",
+        "Sequence-LRU hits (engine view).",
+    ),
+    "repro_sequence_cache_misses_total": (
+        "counter",
+        "Sequence-LRU misses (engine view).",
+    ),
+    "repro_sequence_cache_evictions_total": (
+        "counter",
+        "Sequence-LRU evictions (engine view).",
+    ),
+    "repro_sequence_cache_entries": (
+        "gauge",
+        "Sequence-LRU entries (engine view).",
+    ),
     "repro_postings_cache_evictions_total": ("counter", "Postings-LRU evictions."),
     "repro_postings_cache_entries": ("gauge", "Postings-LRU entries."),
     # -- engine state -------------------------------------------------------

@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     exp_fig5,
     exp_fig6,
     exp_fig7,
+    exp_pattern_language,
     exp_table4,
     exp_table5,
     exp_table6,
@@ -92,6 +93,19 @@ class TestContinuationExperiments:
         assert accuracies[-1] == 1.0  # huge topK == accurate
 
 
+class TestPatternLanguageExperiment:
+    def test_per_kind_rows_and_snapshot(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # the snapshot lands in the cwd
+        result = exp_pattern_language(
+            SCALE, dataset="max_100", patterns_per_kind=2, repeats=1
+        )
+        kinds = [row[0] for row in result.rows]
+        assert kinds == ["windowed", "alternation", "kleene", "negation", "all"]
+        assert all(row[1] > 0 for row in result.rows)  # pattern counts
+        assert all(row[2] > 0 and row[3] > 0 for row in result.rows)  # timings
+        assert (tmp_path / "BENCH_pattern_language.json").is_file()
+
+
 class TestRegistryCompleteness:
     def test_every_paper_artifact_has_an_experiment(self):
         paper_artifacts = {
@@ -113,4 +127,5 @@ class TestRegistryCompleteness:
         assert set(ALL_EXPERIMENTS) - paper_artifacts == {
             "ablation_cache",
             "ablation_planner",
+            "pattern_language",
         }

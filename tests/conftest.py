@@ -7,6 +7,19 @@ import pytest
 from repro.core.model import EventLog
 from repro.kvstore import InMemoryStore, LSMStore
 
+try:  # hypothesis drives the differential suite; the rest runs without it
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        deadline=None,  # store setup time varies too much for per-example deadlines
+        max_examples=50,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("ci")
+except ImportError:  # pragma: no cover
+    pass
+
 
 @pytest.fixture
 def memory_store():

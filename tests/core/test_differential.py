@@ -1,0 +1,189 @@
+"""Differential suite: indexed pattern queries vs the SASE oracle.
+
+The two composite-pattern engines share nothing but the AST -- the indexed
+path prunes with pair posting lists and verifies with occurrence-list
+bisection, the oracle streams events through a guard automaton.  These
+tests hold their match sets byte-identical:
+
+* a fixed-seed subset of the seeded harness runs in tier-1;
+* a hypothesis property generates logs and patterns independently of the
+  harness's own generators;
+* the wide 500-seed sweep is opt-in (``pytest -m differential``).
+
+Every failure prints the one-line reproducer the harness renders
+(``python -m repro diffcheck --seed N``) so a CI hit replays locally.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pattern import Pattern, PatternElement
+from repro.difftest import (
+    CaseResult,
+    evaluate_both,
+    random_log,
+    random_pattern,
+    run_case,
+    shrink,
+)
+
+# -- fixed-seed subset (tier-1) ----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fixed_seeds_agree(seed):
+    result = run_case(seed)
+    assert result.ok, "\n" + result.report()
+
+
+# -- hypothesis: independently generated cases -------------------------------
+
+_LETTERS = tuple("ABCD")
+
+_events = st.lists(
+    st.tuples(st.sampled_from(_LETTERS), st.integers(1, 4)), max_size=14
+)
+_logs = st.dictionaries(
+    st.sampled_from(["t0", "t1", "t2", "t3"]), _events, min_size=1, max_size=4
+)
+_raw_elements = st.lists(
+    st.tuples(
+        st.lists(st.sampled_from(_LETTERS), min_size=1, max_size=2, unique=True),
+        st.booleans(),  # kleene
+        st.booleans(),  # negated
+    ),
+    min_size=1,
+    max_size=4,
+)
+_within = st.one_of(st.none(), st.integers(2, 15).map(float))
+
+
+def _build_pattern(raw, within) -> Pattern:
+    """Normalize raw tuples into a valid Pattern (first element positive)."""
+    elements = []
+    for i, (types, kleene, negated) in enumerate(raw):
+        negated = negated and i > 0
+        elements.append(
+            PatternElement(
+                types=tuple(types), kleene=kleene and not negated, negated=negated
+            )
+        )
+    return Pattern(elements=tuple(elements), within=within)
+
+
+def _timestamped(log):
+    """Gap lists -> absolute-timestamp logs (gaps keep windows non-trivial)."""
+    out = {}
+    for tid, events in log.items():
+        ts = 0.0
+        rows = []
+        for activity, gap in events:
+            rows.append((activity, ts))
+            ts += gap
+        out[tid] = rows
+    return out
+
+
+@given(log=_logs, raw=_raw_elements, within=_within)
+def test_property_engines_agree(log, raw, within):
+    pattern = _build_pattern(raw, within)
+    indexed, oracle = evaluate_both(_timestamped(log), pattern)
+    assert indexed == oracle, (
+        f"pattern {pattern} diverged\n"
+        f"  indexed only: {sorted(indexed - oracle)}\n"
+        f"  oracle only:  {sorted(oracle - indexed)}"
+    )
+
+
+# -- wide sweep (opt-in) -----------------------------------------------------
+
+
+@pytest.mark.differential
+@pytest.mark.parametrize("block", range(10))
+def test_wide_sweep_agrees(block):
+    """500 seeds in 10 blocks, so a failure names a narrow range."""
+    for seed in range(block * 50, (block + 1) * 50):
+        result = run_case(seed)
+        assert result.ok, "\n" + result.report()
+
+
+# -- the harness itself ------------------------------------------------------
+
+
+class TestHarness:
+    def test_generators_are_deterministic(self):
+        import random
+
+        a_log = random_log(random.Random(11))
+        b_log = random_log(random.Random(11))
+        assert a_log == b_log
+        a_pat = random_pattern(random.Random(11))
+        b_pat = random_pattern(random.Random(11))
+        assert a_pat == b_pat
+
+    def test_reproducer_line_names_the_seed(self):
+        result = run_case(17)
+        assert result.reproducer == "python -m repro diffcheck --seed 17"
+
+    def test_report_of_divergence_is_actionable(self):
+        """A synthetic divergence renders both diffs and the reproducer."""
+        result = CaseResult(
+            seed=99,
+            pattern=Pattern.of("A"),
+            log={"t0": [("A", 0.0)]},
+            indexed={("t0", (0.0,))},
+            oracle=set(),
+        )
+        report = result.report()
+        assert "DIVERGENCE" in report
+        assert "indexed only: [('t0', (0.0,))]" in report
+        assert "diffcheck --seed 99" in report
+
+    def test_shrinker_minimizes_a_buggy_engine(self, monkeypatch):
+        """Against an engine that ignores negation, shrink() converges on a
+        counterexample small enough to eyeball: one trace, and a pattern
+        that still holds a negated element (dropping it kills the bug)."""
+        import repro.difftest as difftest
+        from repro.core.pattern import find_matches
+
+        def buggy_evaluate(log, pattern):
+            stripped = Pattern(
+                elements=tuple(
+                    e for e in pattern.elements if not e.negated
+                ),
+                within=pattern.within,
+            )
+            indexed, oracle = set(), set()
+            for tid, events in log.items():
+                acts = [a for a, _ in events]
+                stamps = [t for _, t in events]
+                for span in find_matches(acts, stamps, stripped):
+                    indexed.add((tid, span))
+                for span in find_matches(acts, stamps, pattern):
+                    oracle.add((tid, span))
+            return indexed, oracle
+
+        monkeypatch.setattr(difftest, "evaluate_both", buggy_evaluate)
+        log = {
+            "t0": [("A", 0.0), ("B", 1.0), ("C", 2.0)],
+            "t1": [("A", 0.0), ("C", 1.0)],
+            "t2": [("D", 0.0)],
+        }
+        pattern = Pattern.of("A", "!B", "(C|D)", within=20.0)
+        assert difftest._diverges(log, pattern)
+        small_log, small_pattern = shrink(log, pattern)
+        assert difftest._diverges(small_log, small_pattern)
+        assert len(small_log) == 1
+        assert sum(len(v) for v in small_log.values()) <= 3
+        assert any(e.negated for e in small_pattern.elements)
+        assert small_pattern.within is None
+        assert all(len(e.types) == 1 for e in small_pattern.elements)
+
+    def test_shrinker_is_identity_on_agreement(self):
+        """shrink() is only called on divergences; on agreement every
+        reduction fails and the case comes back unchanged."""
+        log = {"t0": [("A", 0.0), ("B", 1.0)]}
+        pattern = Pattern.of("A")
+        assert shrink(log, pattern) == (log, pattern)

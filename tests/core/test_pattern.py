@@ -1,0 +1,177 @@
+"""Units for the pattern AST, the textual grammar and `find_matches`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PatternSyntaxError
+from repro.core.pattern import (
+    Pattern,
+    PatternElement,
+    find_matches,
+    parse_pattern,
+)
+
+
+class TestParser:
+    def test_full_grammar_round_trips(self):
+        text = "SEQ(A, !B, (C|D)+) WITHIN 10"
+        pattern = parse_pattern(text)
+        assert str(pattern) == text
+        assert pattern.within == 10
+        assert [str(e) for e in pattern.elements] == ["A", "!B", "(C|D)+"]
+
+    def test_bare_comma_form(self):
+        assert parse_pattern("A, B, C") == parse_pattern("SEQ(A, B, C)")
+
+    def test_keywords_are_case_insensitive(self):
+        assert parse_pattern("seq(A, B) within 5") == parse_pattern(
+            "SEQ(A, B) WITHIN 5"
+        )
+
+    def test_seq_is_a_valid_activity_name_when_not_called(self):
+        # "SEQ" only acts as the wrapper when followed by "(".
+        pattern = parse_pattern("SEQ, A")
+        assert [e.types for e in pattern.elements] == [("SEQ",), ("A",)]
+
+    def test_single_element_forms(self):
+        assert parse_pattern("A").elements == (PatternElement(types=("A",)),)
+        assert parse_pattern("A+").elements[0].kleene
+        assert parse_pattern("(A|B)").elements[0].types == ("A", "B")
+
+    def test_negated_alternation_with_kleene_neighbours(self):
+        pattern = parse_pattern("A+, !(X|Y), B")
+        assert pattern.elements[0].kleene
+        assert pattern.elements[1].negated
+        assert pattern.elements[1].types == ("X", "Y")
+
+    def test_duplicate_alternation_branches_dedupe(self):
+        assert parse_pattern("(A|A|B)").elements[0].types == ("A", "B")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "SEQ()",
+            "A,,B",
+            "!A, B",  # leading negation has no anchor
+            "!A+",  # negated and Kleene are mutually exclusive
+            "(A|)",
+            "(|A)",
+            "A)",
+            "SEQ(A",
+            "A WITHIN",
+            "A WITHIN x",
+            "A WITHIN 0",
+            "A WITHIN -3",
+            "A B",  # missing comma
+            "SEQ(A, B) WITHIN 5 trailing",
+        ],
+    )
+    def test_rejects_malformed_expressions(self, bad):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern(bad)
+
+    def test_of_builds_from_element_strings(self):
+        pattern = Pattern.of("A", "!B", "(C|D)+", within=10)
+        assert pattern == parse_pattern("SEQ(A, !B, (C|D)+) WITHIN 10")
+
+    def test_element_validation(self):
+        with pytest.raises(PatternSyntaxError):
+            PatternElement(types=())
+        with pytest.raises(PatternSyntaxError):
+            PatternElement(types=("A",), kleene=True, negated=True)
+
+    def test_is_plain_and_activities(self):
+        plain = parse_pattern("A, B, C")
+        assert plain.is_plain
+        assert plain.activities() == ("A", "B", "C")
+        for fancy in ("A, B+", "A, (B|C)", "A, !B, C", "A, B WITHIN 5"):
+            pattern = parse_pattern(fancy)
+            assert not pattern.is_plain
+            with pytest.raises(PatternSyntaxError):
+                pattern.activities()
+
+    def test_negation_scopes(self):
+        pattern = parse_pattern("A, !X, B, !Y")
+        assert pattern.negation_scopes() == ((1, 0, 1), (3, 1, None))
+
+
+def run(trace: str, expr: str, timestamps=None):
+    activities = list(trace)
+    if timestamps is None:
+        timestamps = list(range(len(activities)))
+    return find_matches(activities, timestamps, parse_pattern(expr))
+
+
+class TestFindMatches:
+    def test_paper_example_greedy_non_overlapping(self):
+        # §2.1: A,A,B over <AAABAACB> -> (1,2,4) and (5,6,8) in 1-based time.
+        assert run("AAABAACB", "A, A, B", timestamps=list(range(1, 9))) == [
+            (1, 2, 4),
+            (5, 6, 8),
+        ]
+
+    def test_window_bound_is_inclusive(self):
+        assert run("AB", "A, B WITHIN 1") == [(0, 1)]
+        assert run("AB", "A, B WITHIN 0.5") == []
+
+    def test_window_failure_retries_after_first_event(self):
+        # (A@0, B@4) exceeds the window, but (A@2, B@4) fits.
+        assert run("AxAxB", "A, B WITHIN 2") == [(2, 4)]
+
+    def test_alternation_takes_earliest_of_either_type(self):
+        assert run("ACB", "A, (B|C)") == [(0, 1)]
+        assert run("ABC", "A, (B|C)") == [(0, 1)]
+
+    def test_kleene_maximal_munch_stops_at_next_element(self):
+        # B+ absorbs both Bs, stops at the first C; the later B is free.
+        assert run("ABBCB", "A, B+, C") == [(0, 1, 2, 3)]
+
+    def test_trailing_kleene_absorbs_to_end_of_trace(self):
+        assert run("ABxB", "A, B+") == [(0, 1, 3)]
+
+    def test_kleene_alternation_absorbs_both_types(self):
+        assert run("ABCBD", "A, (B|C)+") == [(0, 1, 2, 3)]
+
+    def test_negation_blocks_in_scope_occurrences_only(self):
+        assert run("AXB", "A, !X, B") == []
+        assert run("ABX", "A, !X, B") == [(0, 1)]  # X after B: out of scope
+        assert run("XAB", "A, !X, B") == [(1, 2)]  # X before A: out of scope
+
+    def test_violated_negation_retries_after_first_event(self):
+        # (A@0 .. B@3) straddles the X; the A@2 attempt does not.
+        assert run("AXAB", "A, !X, B") == [(2, 3)]
+
+    def test_trailing_negation_scans_to_end_of_trace(self):
+        assert run("ABX", "A, B, !X") == []
+        assert run("ABx", "A, B, !X") == [(0, 1)]
+
+    def test_trailing_negation_bounded_by_window(self):
+        # X is 3 ticks after the A anchor; WITHIN 2 puts it out of scope.
+        assert run("ABxX", "A, B, !X WITHIN 2") == [(0, 1)]
+        assert run("ABX", "A, B, !X WITHIN 2") == []
+
+    def test_missing_element_ends_search(self):
+        assert run("AAAA", "A, B") == []
+
+    def test_max_matches_budget(self):
+        activities = list("ABABAB")
+        timestamps = list(range(6))
+        pattern = parse_pattern("A, B")
+        assert len(find_matches(activities, timestamps, pattern)) == 3
+        assert (
+            len(find_matches(activities, timestamps, pattern, max_matches=2))
+            == 2
+        )
+
+    def test_empty_trace(self):
+        assert find_matches([], [], parse_pattern("A")) == []
+
+    def test_real_timestamps_drive_the_window(self):
+        # Two events, positions adjacent but 10 time units apart.
+        assert find_matches(["A", "B"], [0.0, 10.0], parse_pattern("A, B WITHIN 5")) == []
+        assert find_matches(["A", "B"], [0.0, 5.0], parse_pattern("A, B WITHIN 5")) == [
+            (0.0, 5.0)
+        ]

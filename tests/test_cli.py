@@ -99,6 +99,50 @@ class TestIndexAndQuery:
         with pytest.raises(SystemExit):
             main(["detect", "--store", store_dir, ",,"])
 
+    def test_detect_composite_expression(self, store_dir, capsys):
+        assert main(
+            ["detect", "--store", store_dir, "--pattern", "SEQ(A, (B|C)) WITHIN 2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 completions of SEQ(A, (B|C)) WITHIN 2" in out
+        assert "t1" in out and "t2" in out
+
+    def test_detect_composite_explain_shows_groups(self, store_dir, capsys):
+        assert main(
+            ["detect", "--store", store_dir, "--pattern", "SEQ(A, !X, C)", "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "A -> C" in out
+        assert "negated element !X" in out
+
+    def test_detect_composite_profile_has_verify_stage(self, store_dir, capsys):
+        assert main(
+            ["detect", "--store", store_dir, "--pattern", "SEQ(A, C+)", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        for stage in ("plan ", "fetch_postings", "intersect", "verify"):
+            assert stage in out
+
+    def test_detect_rejects_both_pattern_forms(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["detect", "--store", store_dir, "A,B", "--pattern", "SEQ(A, B)"])
+
+    def test_detect_rejects_within_flag_on_composite(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(
+                ["detect", "--store", store_dir, "--pattern", "SEQ(A, B)",
+                 "--within", "5"]
+            )
+
+    def test_detect_rejects_bad_expression(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["detect", "--store", store_dir, "--pattern", "SEQ(!A)"])
+
+    def test_detect_requires_some_pattern(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["detect", "--store", store_dir])
+
 
 class TestProfile:
     def test_profile_output(self, log_file, capsys):
@@ -148,3 +192,45 @@ class TestFaults:
         import os
 
         assert os.path.isdir(os.path.join(keep, "seed-1"))
+
+
+class TestDiffcheck:
+    def test_single_seed_replay_prints_report(self, capsys):
+        assert main(["diffcheck", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 7: ok" in out
+        assert "1 seeds, 0 divergences" in out
+
+    def test_seed_range_sweep(self, capsys):
+        assert main(["diffcheck", "--seeds", "0:10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 seeds, 0 divergences" in out
+
+    def test_bad_seed_range_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["diffcheck", "--seeds", "nope"])
+
+    def test_divergence_exits_nonzero(self, monkeypatch, capsys):
+        """Wire a fake diverging case through run_case: the command must
+        print the report (with the reproducer line) and return 1."""
+        import repro.cli as cli
+        from repro.core.pattern import Pattern, PatternElement
+        from repro.difftest import CaseResult
+
+        def fake_run_case(seed):
+            return CaseResult(
+                seed=seed,
+                pattern=Pattern((PatternElement(types=("A",)),)),
+                log={"t0": [("A", 0.0)]},
+                indexed={("t0", (0.0,))},
+                oracle=set(),
+            )
+
+        import repro.difftest as difftest
+
+        monkeypatch.setattr(difftest, "run_case", fake_run_case)
+        assert main(["diffcheck", "--seed", "5"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "diffcheck --seed 5" in out
+        assert "1 seeds, 1 divergences" in out

@@ -92,3 +92,43 @@ def test_every_catalogued_metric_has_type_and_help():
             assert metric_type == "counter", f"{name} must be a counter"
         else:
             assert metric_type == "gauge", f"{name} must be a gauge"
+
+
+# -- pattern language ---------------------------------------------------------
+
+#: Operator vocabulary of the composite pattern language.  DESIGN.md must
+#: document each one, and the golden corpus must exercise each one -- a new
+#: operator lands with docs and a golden case or this test fails.
+PATTERN_OPERATORS = ("sequence", "alternation", "kleene", "negation", "within")
+
+
+def test_design_documents_every_pattern_operator():
+    with open(os.path.join(REPO_ROOT, "DESIGN.md"), encoding="utf-8") as fh:
+        doc = fh.read().lower()
+    missing = [op for op in PATTERN_OPERATORS if op not in doc]
+    assert not missing, f"DESIGN.md does not mention operators: {missing}"
+
+
+def test_golden_corpus_covers_every_documented_operator():
+    """Every operator named in DESIGN.md's grammar has a golden-corpus case."""
+    import json
+
+    with open(
+        os.path.join(REPO_ROOT, "tests/data/pattern_corpus.json"),
+        encoding="utf-8",
+    ) as fh:
+        corpus = json.load(fh)
+    tagged = {op for case in corpus["cases"] for op in case["operators"]}
+    unknown = tagged - set(PATTERN_OPERATORS)
+    assert not unknown, f"corpus uses undeclared operator tags: {unknown}"
+    missing = set(PATTERN_OPERATORS) - tagged
+    assert not missing, f"no golden-corpus case exercises: {missing}"
+
+
+def test_operations_guide_documents_the_pattern_grammar():
+    with open(
+        os.path.join(REPO_ROOT, "docs/OPERATIONS.md"), encoding="utf-8"
+    ) as fh:
+        doc = fh.read()
+    assert "WITHIN" in doc, "docs/OPERATIONS.md lacks the pattern grammar"
+    assert "diffcheck" in doc, "docs/OPERATIONS.md lacks the diffcheck runbook"
