@@ -50,8 +50,15 @@ def _open_index(args: argparse.Namespace) -> SequenceIndex:
     store = LSMStore(
         args.store,
         background_compaction=getattr(args, "background_compaction", False),
+        compression=_compression_arg(args),
+        mmap=getattr(args, "mmap", False),
     )
     return SequenceIndex(store, policy=policy, method=method, executor=executor)
+
+
+def _compression_arg(args: argparse.Namespace) -> str | None:
+    name = getattr(args, "compression", "none")
+    return None if name == "none" else name
 
 
 def _pattern(raw: str) -> list[str]:
@@ -152,6 +159,8 @@ def cmd_detect(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.pattern is None:
+        return _store_stats(args)
     pattern = _pattern(args.pattern)
     with _open_index(args) as index:
         stats = index.statistics(pattern)
@@ -165,6 +174,37 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"pattern upper bound: {stats.max_completions} completions, "
             f"estimated duration {stats.estimated_duration:g}"
         )
+    return 0
+
+
+def _store_stats(args: argparse.Namespace) -> int:
+    """Storage-level report: per-table record counts, raw vs on-disk bytes,
+    and the compression ratio the block codec is achieving."""
+    with LSMStore(
+        args.store, compression=_compression_arg(args), mmap=getattr(args, "mmap", False)
+    ) as store:
+        print(f"store {args.store}")
+        for name in sorted(store.list_tables()):
+            count = sum(1 for _ in store.scan(name))
+            print(f"  {name}: {count} records")
+        stats = store.storage_stats()
+        print(
+            f"  sstables: {len(stats['sstables'])} "
+            f"({stats['records']} records on disk)"
+        )
+        for entry in stats["sstables"]:
+            print(
+                f"    {entry['file']}: v{entry['format_version']} "
+                f"records={entry['records']} raw={entry['raw_data_bytes']} "
+                f"disk={entry['data_bytes']}"
+                + (" (mmap)" if entry["mmap"] else "")
+            )
+        print(
+            f"  raw bytes: {stats['raw_data_bytes']}  "
+            f"on-disk bytes: {stats['data_bytes']}  "
+            f"(files: {stats['file_bytes']})"
+        )
+        print(f"  compression ratio: {stats['compression_ratio']:.2f}x")
     return 0
 
 
@@ -228,7 +268,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
     for seed in seeds:
         workdir = os.path.join(args.path, f"seed-{seed}") if args.path else None
         try:
-            summary = run_seed(seed, ops=args.ops, path=workdir)
+            summary = run_seed(
+                seed, ops=args.ops, path=workdir, compression=_compression_arg(args)
+            )
         except CrashRecoveryFailure as exc:
             failures += 1
             print(f"FAIL {exc}")
@@ -335,6 +377,17 @@ def build_parser() -> argparse.ArgumentParser:
     def add_store_args(p, with_build=False):
         p.add_argument("--store", required=True, help="index store directory")
         p.add_argument("--policy", choices=sorted(_POLICIES), default="stnm")
+        p.add_argument(
+            "--compression",
+            choices=("none", "zlib", "zstd"),
+            default="none",
+            help="block codec for new SSTable writes (reads auto-detect)",
+        )
+        p.add_argument(
+            "--mmap",
+            action="store_true",
+            help="serve SSTable reads from a memory map (page cache)",
+        )
         if with_build:
             p.add_argument("--method", choices=sorted(_METHODS), default=None)
             p.add_argument("--workers", type=int, default=1)
@@ -382,8 +435,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     det.set_defaults(fn=cmd_detect)
 
-    sta = sub.add_parser("stats", help="pairwise statistics of a pattern")
-    sta.add_argument("pattern")
+    sta = sub.add_parser(
+        "stats",
+        help="pairwise statistics of a pattern, or (without a pattern) "
+        "per-table record counts and storage/compression accounting",
+    )
+    sta.add_argument("pattern", nargs="?", default=None)
     add_store_args(sta)
     sta.set_defaults(fn=cmd_stats)
 
@@ -429,6 +486,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--path",
         default=None,
         help="run in this directory and keep it (default: temp dir, removed)",
+    )
+    flt.add_argument(
+        "--compression",
+        choices=("none", "zlib", "zstd"),
+        default="none",
+        help="run the store under test with this block codec",
     )
     flt.set_defaults(fn=cmd_faults)
 

@@ -66,6 +66,9 @@ class SequenceIndex:
     ``planner`` and ``batched_reads`` toggle the selectivity-driven join
     reordering and the batched ``multi_get`` read path; both exist for the
     planner ablation benchmark and should stay on otherwise.
+    ``postings_codec`` toggles the delta/varint packing of new Index
+    writes (:mod:`repro.core.postings`); reads always understand both
+    formats, and decode happens once per postings-cache fill either way.
 
     Every query API call is timed; with ``slow_query_threshold`` set (in
     seconds, or via the ``REPRO_SLOW_QUERY_MS`` environment variable) calls
@@ -87,12 +90,14 @@ class SequenceIndex:
         sequence_cache_size: int = 256,
         planner: bool = True,
         batched_reads: bool = True,
+        postings_codec: bool = True,
         slow_query_threshold: float | None = None,
     ) -> None:
         self.store = store if store is not None else InMemoryStore()
         self.builder = IndexBuilder(self.store, policy, method, executor)
         self.tables = self.builder.tables
         self.tables.batched_reads = batched_reads
+        self.tables.postings_codec = postings_codec
         self._postings_cache = (
             LRUCache(postings_cache_size) if postings_cache_size > 0 else None
         )

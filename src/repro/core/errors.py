@@ -8,6 +8,7 @@ catch them without importing kvstore internals.
 
 from __future__ import annotations
 
+from repro.core.postings import CorruptPostingsError
 from repro.kvstore.api import CorruptionError, CorruptSSTableError
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "IndexStateError",
     "CorruptionError",
     "CorruptSSTableError",
+    "CorruptPostingsError",
 ]
 
 

@@ -1,0 +1,258 @@
+"""Delta/varint codec for Index-table postings lists.
+
+Postings -- the ``(trace_id, ts_a, ts_b)`` rows of the paper's Index table
+-- dominate bytes on disk: the generic value encoding spends a tag plus a
+full-width payload per field, while the rows themselves are highly
+regular (few distinct trace ids, timestamps clustered per trace, ``ts_b``
+near ``ts_a``).  This module packs one batch of rows into a single
+*chunk*: a trace-id dictionary followed by per-entry varints holding the
+trace index, the delta of ``ts_a`` against the previous ``ts_a`` of the
+same trace, and ``ts_b - ts_a``.  Signed deltas use zigzag coding so
+small negative gaps stay small; unsigned varints are LEB128.
+
+Chunks are *versioned by a leading format tag* and stored as ``bytes``
+items inside the Index value, which is merged with ``list_append`` --
+exactly like the legacy tuple entries.  A store can therefore hold a mix
+of legacy entry lists and encoded chunks (old stores keep opening, new
+writes append chunks), and :func:`decode_index_value` transparently
+splices both back into plain tuples.
+
+Format tags
+-----------
+
+``0x00`` RAW
+    Fallback: payload is the generic value encoding of the entry list.
+    Chosen whenever the rows do not fit a compact format (non-string
+    trace ids, exotic timestamp types); guarantees exact round-trips for
+    *any* input, so the codec never silently alters data.
+``0x01`` INT
+    All timestamps are Python ints; deltas round-trip exactly at any
+    magnitude (LEB128 is unbounded, so ``2**63 - 1`` is not special).
+``0x02`` INTFLOAT
+    All timestamps are integral floats with ``|v| <= 2**53``; stored as
+    int deltas, decoded back to ``float``.
+``0x03`` FLOAT
+    All timestamps are floats; trace-dictionary header plus raw IEEE-754
+    doubles (no delta coding -- exact for every double, including
+    non-finite values).
+
+Decoding is strict: a truncated varint, an unknown tag or trailing bytes
+raise :class:`CorruptPostingsError` -- corrupt input is never decoded
+into silently wrong rows.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kvstore.encoding import decode_value, encode_value
+
+__all__ = [
+    "CorruptPostingsError",
+    "encode_postings",
+    "decode_postings",
+    "decode_index_value",
+]
+
+TAG_RAW = 0x00
+TAG_INT = 0x01
+TAG_INTFLOAT = 0x02
+TAG_FLOAT = 0x03
+
+#: largest integer a float holds exactly; beyond it INTFLOAT would round
+_MAX_EXACT_FLOAT = 2**53
+
+_F64 = struct.Struct(">d")
+
+
+class CorruptPostingsError(Exception):
+    """An encoded postings chunk failed to decode (truncated or corrupt)."""
+
+
+# -- varint primitives -----------------------------------------------------
+
+
+def _write_uvarint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(buf, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    total = len(buf)
+    while True:
+        if pos >= total:
+            raise CorruptPostingsError("truncated varint in postings chunk")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:  # > 10 continuation bytes: corrupt, not just large
+            raise CorruptPostingsError("overlong varint in postings chunk")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# -- format selection ------------------------------------------------------
+
+
+def _pick_format(entries: list) -> int:
+    """Choose the tightest tag that round-trips ``entries`` exactly."""
+    all_int = True
+    all_float = True
+    all_integral_float = True
+    for entry in entries:
+        if len(entry) != 3 or type(entry[0]) is not str:
+            return TAG_RAW
+        for ts in (entry[1], entry[2]):
+            kind = type(ts)
+            if kind is int:
+                all_float = all_integral_float = False
+            elif kind is float:
+                all_int = False
+                if not (ts == int(ts) if -_MAX_EXACT_FLOAT <= ts <= _MAX_EXACT_FLOAT else False):
+                    all_integral_float = False
+            else:
+                return TAG_RAW
+    if all_int:
+        return TAG_INT
+    if all_integral_float:
+        return TAG_INTFLOAT
+    if all_float:
+        return TAG_FLOAT
+    return TAG_RAW  # mixed int/float: preserve per-field types exactly
+
+
+# -- encode ----------------------------------------------------------------
+
+
+def encode_postings(entries: list) -> bytes:
+    """Encode one batch of ``(trace_id, ts_a, ts_b)`` rows into a chunk.
+
+    Entry order is preserved exactly; ``decode_postings`` returns the same
+    rows (as tuples) in the same order, whatever the input types were.
+    """
+    entries = [tuple(entry) for entry in entries]
+    tag = _pick_format(entries)
+    if tag == TAG_RAW:
+        return bytes((TAG_RAW,)) + encode_value([list(entry) for entry in entries])
+    out = bytearray((tag,))
+    # trace dictionary, in first-appearance order
+    trace_ids: dict[str, int] = {}
+    for trace_id, _, _ in entries:
+        if trace_id not in trace_ids:
+            trace_ids[trace_id] = len(trace_ids)
+    _write_uvarint(out, len(entries))
+    _write_uvarint(out, len(trace_ids))
+    for trace_id in trace_ids:
+        raw = trace_id.encode("utf-8")
+        _write_uvarint(out, len(raw))
+        out.extend(raw)
+    if tag == TAG_FLOAT:
+        for trace_id, ts_a, ts_b in entries:
+            _write_uvarint(out, trace_ids[trace_id])
+            out.extend(_F64.pack(ts_a))
+            out.extend(_F64.pack(ts_b))
+        return bytes(out)
+    prev_a = [0] * len(trace_ids)  # per-trace ts_a predictor
+    for trace_id, ts_a, ts_b in entries:
+        idx = trace_ids[trace_id]
+        int_a, int_b = int(ts_a), int(ts_b)
+        _write_uvarint(out, idx)
+        _write_uvarint(out, _zigzag(int_a - prev_a[idx]))
+        _write_uvarint(out, _zigzag(int_b - int_a))
+        prev_a[idx] = int_a
+    return bytes(out)
+
+
+# -- decode ----------------------------------------------------------------
+
+
+def decode_postings(chunk) -> list[tuple]:
+    """Decode one chunk back to its exact ``(trace_id, ts_a, ts_b)`` rows."""
+    if not len(chunk):
+        raise CorruptPostingsError("empty postings chunk")
+    tag = chunk[0]
+    if tag == TAG_RAW:
+        try:
+            rows = decode_value(bytes(chunk[1:]))
+        except Exception as exc:
+            raise CorruptPostingsError(f"corrupt raw postings chunk: {exc}") from None
+        if not isinstance(rows, list):
+            raise CorruptPostingsError("raw postings chunk is not a list")
+        return [tuple(row) for row in rows]
+    if tag not in (TAG_INT, TAG_INTFLOAT, TAG_FLOAT):
+        raise CorruptPostingsError(f"unknown postings chunk tag 0x{tag:02x}")
+    pos = 1
+    n_entries, pos = _read_uvarint(chunk, pos)
+    n_traces, pos = _read_uvarint(chunk, pos)
+    total = len(chunk)
+    trace_ids: list[str] = []
+    for _ in range(n_traces):
+        length, pos = _read_uvarint(chunk, pos)
+        if pos + length > total:
+            raise CorruptPostingsError("truncated trace id in postings chunk")
+        try:
+            trace_ids.append(bytes(chunk[pos : pos + length]).decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise CorruptPostingsError(f"corrupt trace id: {exc}") from None
+        pos += length
+    entries: list[tuple] = []
+    if tag == TAG_FLOAT:
+        unpack = _F64.unpack_from
+        for _ in range(n_entries):
+            idx, pos = _read_uvarint(chunk, pos)
+            if idx >= n_traces:
+                raise CorruptPostingsError("trace index out of range in postings chunk")
+            if pos + 16 > total:
+                raise CorruptPostingsError("truncated float entry in postings chunk")
+            (ts_a,) = unpack(chunk, pos)
+            (ts_b,) = unpack(chunk, pos + 8)
+            pos += 16
+            entries.append((trace_ids[idx], ts_a, ts_b))
+    else:
+        as_float = tag == TAG_INTFLOAT
+        prev_a = [0] * n_traces
+        for _ in range(n_entries):
+            idx, pos = _read_uvarint(chunk, pos)
+            if idx >= n_traces:
+                raise CorruptPostingsError("trace index out of range in postings chunk")
+            delta_a, pos = _read_uvarint(chunk, pos)
+            delta_b, pos = _read_uvarint(chunk, pos)
+            ts_a = prev_a[idx] + _unzigzag(delta_a)
+            ts_b = ts_a + _unzigzag(delta_b)
+            prev_a[idx] = ts_a
+            if as_float:
+                entries.append((trace_ids[idx], float(ts_a), float(ts_b)))
+            else:
+                entries.append((trace_ids[idx], ts_a, ts_b))
+    if pos != total:
+        raise CorruptPostingsError("trailing bytes after postings chunk")
+    return entries
+
+
+def decode_index_value(raw: list) -> list[tuple]:
+    """Splice a stored Index value into plain entry tuples.
+
+    The value is a ``list_append``-merged list whose items are either
+    legacy entries (lists/tuples, pre-codec stores) or encoded chunks
+    (``bytes``); both decode to the same tuples, preserving order.
+    """
+    entries: list[tuple] = []
+    for item in raw:
+        if isinstance(item, (bytes, bytearray)):
+            entries.extend(decode_postings(item))
+        else:
+            entries.append(tuple(item))
+    return entries

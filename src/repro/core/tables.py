@@ -28,6 +28,7 @@ from typing import Iterator
 
 from repro.core.errors import IndexStateError
 from repro.core.policies import PairMethod, Policy
+from repro.core.postings import decode_index_value, encode_postings
 from repro.kvstore.api import KeyValueStore
 
 SEQ = "seq"
@@ -52,11 +53,23 @@ class IndexTables:
     bloom/block work per batch); disabling it falls back to a loop of
     point ``get`` calls with identical results -- the knob exists for the
     planner ablation benchmark, not for production tuning.
+
+    ``postings_codec`` stores Index entries as delta/varint-packed chunks
+    (:mod:`repro.core.postings`) instead of raw tuples.  Reads decode both
+    representations transparently, so the knob only affects *new* writes;
+    disabling it keeps the legacy tuple format (ablation benchmarks, or
+    writing stores an old reader must parse byte-for-byte).
     """
 
-    def __init__(self, store: KeyValueStore, batched_reads: bool = True) -> None:
+    def __init__(
+        self,
+        store: KeyValueStore,
+        batched_reads: bool = True,
+        postings_codec: bool = True,
+    ) -> None:
         self.store = store
         self.batched_reads = batched_reads
+        self.postings_codec = postings_codec
 
     def _multi_get(self, table: str, keys: list, default) -> list:
         """Batched (or, for ablations, looped) point reads on one table."""
@@ -148,7 +161,13 @@ class IndexTables:
         entries: list[tuple[str, float, float]],
         partition: str = _DEFAULT_PARTITION,
     ) -> None:
-        self.store.merge(_index_table(partition), pair, entries)
+        if self.postings_codec and entries:
+            # One chunk per append batch: the list_append merge makes the
+            # stored value a list of chunks (possibly mixed with legacy
+            # tuples from before the codec), spliced back on read.
+            self.store.merge(_index_table(partition), pair, [encode_postings(entries)])
+        else:
+            self.store.merge(_index_table(partition), pair, entries)
 
     def _index_tables_for(self, partition: str | None) -> list[str]:
         """Physical Index tables a read targets, in union (partition) order.
@@ -192,7 +211,7 @@ class IndexTables:
         for table in self._index_tables_for(partition):
             rows = self._multi_get(table, unique, [])
             for pair, raw in zip(unique, rows):
-                merged[pair].extend(tuple(item) for item in raw)
+                merged[pair].extend(decode_index_value(raw))
         return merged
 
     def get_index_grouped(

@@ -208,12 +208,16 @@ class CrashRecoveryHarness:
         ops: int = 160,
         memtable_flush_bytes: int = 2048,
         compaction_min_tables: int = 3,
+        compression: str | None = None,
     ) -> None:
         self.path = path
         self.seed = seed
         self.ops = ops
         self.memtable_flush_bytes = memtable_flush_bytes
         self.compaction_min_tables = compaction_min_tables
+        #: block codec for the store under test; faults then land inside
+        #: compressed v2 blocks, exercising the per-block CRC detection path
+        self.compression = compression
 
     def run(self) -> dict[str, Any]:
         """Execute the cycle; returns a summary dict or raises
@@ -234,6 +238,7 @@ class CrashRecoveryHarness:
                 auto_compact=True,
                 background_compaction=False,
                 block_cache_bytes=64 * 1024,
+                compression=self.compression,
                 io=FaultyIO(schedule),
             )
             for table, operator in self.TABLES:

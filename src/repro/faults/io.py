@@ -50,6 +50,23 @@ class RealIO:
     def fsync(self, fobj: Any) -> None:
         os.fsync(fobj.fileno())
 
+    def fsync_dir(self, path: str) -> None:
+        """Fsync a *directory*, durably committing renames inside it.
+
+        On ext4-style journals ``os.replace`` alone only updates the
+        in-memory dentry; a crash right after the rename can roll the
+        directory back and lose a fully-synced file.  Platforms whose
+        directory handles reject fsync (some network filesystems) are
+        skipped silently -- they provide no stronger primitive anyway.
+        """
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
     def replace(self, src: str, dst: str) -> None:
         os.replace(src, dst)
 
@@ -92,6 +109,15 @@ class FaultyIO(RealIO):
             if fault.kind == CRASH:
                 raise SimulatedCrash(fault)
         os.fsync(fobj.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        fault = self.schedule.take("fsync_dir", path)
+        if fault is not None:
+            if fault.kind == FAIL_FSYNC:
+                raise OSError(errno.EIO, f"injected fsync failure on dir {path}")
+            if fault.kind in (CRASH, TORN_WRITE):
+                raise SimulatedCrash(fault)
+        super().fsync_dir(path)
 
     def replace(self, src: str, dst: str) -> None:
         fault = self.schedule.take("rename", dst)

@@ -1,0 +1,94 @@
+"""Optional per-block compression codecs for SSTable v2 files.
+
+zlib ships with CPython and is always available; zstd is used only when
+the ``zstandard`` package is installed (the import is gated, never
+required -- ``resolve_compression("zstd")`` raises a clear error when the
+package is absent instead of failing at import time).
+
+Codec ids are part of the on-disk format (one byte per block header), so
+they are append-only: never renumber.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+try:  # optional dependency: present on some deployments only
+    import zstandard as _zstd
+except ImportError:  # pragma: no cover - exercised via zstd_available()
+    _zstd = None
+
+CODEC_NONE = 0
+CODEC_ZLIB = 1
+CODEC_ZSTD = 2
+
+_NAMES = {CODEC_NONE: "none", CODEC_ZLIB: "zlib", CODEC_ZSTD: "zstd"}
+
+
+def zstd_available() -> bool:
+    return _zstd is not None
+
+
+def codec_name(codec: int) -> str:
+    return _NAMES.get(codec, f"unknown({codec})")
+
+
+def resolve_compression(name: str | None) -> int:
+    """Map a store-level ``compression=`` knob to a codec id.
+
+    Accepts ``None``/``"none"``, ``"zlib"`` and ``"zstd"``; requesting
+    zstd without the ``zstandard`` package raises ``ValueError`` at store
+    open (fail fast), not at first flush.
+    """
+    if name is None or name == "none":
+        return CODEC_NONE
+    if name == "zlib":
+        return CODEC_ZLIB
+    if name == "zstd":
+        if _zstd is None:
+            raise ValueError(
+                "compression='zstd' requires the optional 'zstandard' package"
+            )
+        return CODEC_ZSTD
+    raise ValueError(f"unknown compression codec {name!r} (use 'zlib' or 'zstd')")
+
+
+def compress(codec: int, raw: bytes) -> bytes:
+    if codec == CODEC_ZLIB:
+        return zlib.compress(raw, 6)
+    if codec == CODEC_ZSTD:
+        return _zstd.ZstdCompressor().compress(raw)
+    return raw
+
+
+def decompress(codec: int, stored: bytes, raw_len: int) -> bytes:
+    """Inverse of :func:`compress`; raises ``ValueError`` on any failure.
+
+    ``raw_len`` (from the block header) bounds the output and is verified
+    against the actual decompressed size, so a corrupt length field can
+    neither balloon memory nor yield a silently short block.
+    """
+    if codec == CODEC_NONE:
+        if len(stored) != raw_len:
+            raise ValueError("stored/raw length mismatch for uncompressed block")
+        return stored
+    try:
+        if codec == CODEC_ZLIB:
+            raw = zlib.decompress(stored)
+        elif codec == CODEC_ZSTD:
+            if _zstd is None:
+                raise ValueError(
+                    "block is zstd-compressed but 'zstandard' is not installed"
+                )
+            raw = _zstd.ZstdDecompressor().decompress(stored, max_output_size=raw_len)
+        else:
+            raise ValueError(f"unknown block codec id {codec}")
+    except ValueError:
+        raise
+    except Exception as exc:  # zlib.error / ZstdError -> uniform ValueError
+        raise ValueError(f"block decompression failed: {exc}") from None
+    if len(raw) != raw_len:
+        raise ValueError(
+            f"block decompressed to {len(raw)} bytes, header says {raw_len}"
+        )
+    return raw

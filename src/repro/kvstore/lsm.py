@@ -74,6 +74,7 @@ from repro.kvstore.encoding import (
     encode_key,
     encode_value,
 )
+from repro.kvstore import blockcodec
 from repro.kvstore.locks import RWLock
 from repro.kvstore.memtable import (
     BASE_DELETE,
@@ -139,6 +140,8 @@ class StoreMetrics:
         "block_cache_hits",
         "block_cache_misses",
         "multi_get_batches",
+        "compressed_blocks",
+        "mmap_block_hits",
         "postings_cache_hits",
         "postings_cache_misses",
         "sequence_cache_hits",
@@ -202,6 +205,8 @@ class LSMStore(KeyValueStore):
         auto_compact: bool = True,
         background_compaction: bool = False,
         block_cache_bytes: int = 8 * 1024 * 1024,
+        compression: str | None = None,
+        mmap: bool = False,
         io=None,
     ) -> None:
         self._path = path
@@ -212,6 +217,14 @@ class LSMStore(KeyValueStore):
         self._sync_wal = sync_wal
         self._compaction_min_tables = compaction_min_tables
         self._auto_compact = auto_compact
+        # Fail fast on an unknown/unavailable codec (e.g. zstd without the
+        # zstandard package) instead of erroring at first flush.  The knob
+        # only affects *writes*: readers dispatch per file on the header
+        # magic, so a store written with compression on reopens (and keeps
+        # compacting) with compression off, and vice versa.
+        blockcodec.resolve_compression(compression)
+        self._compression = compression
+        self._mmap = mmap
         self._state_lock = RWLock()
         self._flush_lock = threading.Lock()
         self._compaction_lock = threading.Lock()
@@ -284,6 +297,8 @@ class LSMStore(KeyValueStore):
                     os.path.join(self._path, filename),
                     cache=self._block_cache,
                     io=self._io,
+                    use_mmap=self._mmap,
+                    metrics=self.metrics,
                 )
             )
 
@@ -757,6 +772,7 @@ class LSMStore(KeyValueStore):
             os.path.join(self._path, filename),
             expected_records=len(sealed),
             io=self._io,
+            compression=self._compression,
         )
         span = current_tracer().span("lsm.flush")
         try:
@@ -766,7 +782,11 @@ class LSMStore(KeyValueStore):
                     if record is not None:
                         kind, value = record
                         writer.add(key, kind, value)
-                reader = writer.finish(cache=self._block_cache)
+                reader = writer.finish(
+                    cache=self._block_cache, use_mmap=self._mmap, metrics=self.metrics
+                )
+                if writer.compressed_blocks:
+                    self.metrics.bump("compressed_blocks", writer.compressed_blocks)
                 if span.enabled:
                     span.add("entries", len(sealed))
                     span.add("bytes", reader.data_bytes)
@@ -848,6 +868,7 @@ class LSMStore(KeyValueStore):
             os.path.join(self._path, filename),
             expected_records=sum(r.record_count for r in run),
             io=self._io,
+            compression=self._compression,
         )
         span = current_tracer().span("lsm.compaction")
         try:
@@ -856,7 +877,11 @@ class LSMStore(KeyValueStore):
                     run, self._operator_for_full_key, finalize
                 ):
                     writer.add(key, kind, value)
-                merged = writer.finish(cache=self._block_cache)
+                merged = writer.finish(
+                    cache=self._block_cache, use_mmap=self._mmap, metrics=self.metrics
+                )
+                if writer.compressed_blocks:
+                    self.metrics.bump("compressed_blocks", writer.compressed_blocks)
                 if span.enabled:
                     span.add("inputs", len(run))
                     span.add("input_bytes", sum(r.data_bytes for r in run))
@@ -968,6 +993,47 @@ class LSMStore(KeyValueStore):
         """Block-cache counters (empty dict when the cache is disabled)."""
         return self._block_cache.stats() if self._block_cache is not None else {}
 
+    def storage_stats(self) -> dict:
+        """Physical storage accounting, per SSTable and aggregated.
+
+        ``raw_data_bytes`` is the pre-compression data size (equal to
+        ``data_bytes`` for uncompressed v1 files), so
+        ``compression_ratio`` = raw / on-disk measures what the block
+        codec actually saved.  Runs under the read lock so a concurrent
+        compaction cannot retire tables mid-walk.
+        """
+        with self._state_lock.read():
+            self._check_open()
+            per_sstable = []
+            for reader in self._sstables:
+                try:
+                    file_bytes = os.path.getsize(reader.path)
+                except OSError:  # pragma: no cover - racing deletion
+                    file_bytes = reader.data_bytes
+                per_sstable.append(
+                    {
+                        "file": os.path.basename(reader.path),
+                        "format_version": reader.format_version,
+                        "records": reader.record_count,
+                        "data_bytes": reader.data_bytes,
+                        "raw_data_bytes": reader.raw_data_bytes,
+                        "file_bytes": file_bytes,
+                        "mmap": reader.mmap_active,
+                    }
+                )
+        data_bytes = sum(entry["data_bytes"] for entry in per_sstable)
+        raw_bytes = sum(entry["raw_data_bytes"] for entry in per_sstable)
+        return {
+            "sstables": per_sstable,
+            "records": sum(entry["records"] for entry in per_sstable),
+            "data_bytes": data_bytes,
+            "raw_data_bytes": raw_bytes,
+            "file_bytes": sum(entry["file_bytes"] for entry in per_sstable),
+            "compression_ratio": (raw_bytes / data_bytes) if data_bytes else 1.0,
+            "compression": self._compression,
+            "mmap": self._mmap,
+        }
+
     def _collect_obs_metrics(self) -> dict[str, float]:
         """Metrics-registry collector: one consistent store sample."""
         with self._state_lock.read():
@@ -975,11 +1041,18 @@ class LSMStore(KeyValueStore):
                 return {}
             sstables = len(self._sstables)
             tables = len(self._tables)
+            bytes_on_disk = 0
+            for reader in self._sstables:
+                try:
+                    bytes_on_disk += os.path.getsize(reader.path)
+                except OSError:  # pragma: no cover - racing deletion
+                    bytes_on_disk += reader.data_bytes
         return store_samples(
             self.metrics.snapshot(),
             sstables=sstables,
             tables=tables,
             cache_stats=self.cache_stats(),
+            bytes_on_disk=bytes_on_disk,
         )
 
     def _check_open(self) -> None:

@@ -1,6 +1,8 @@
 """Immutable sorted-string-table files.
 
-Layout (all integers big-endian)::
+Two on-disk versions share one reader (dispatch on the header magic).
+
+Version 1 -- uncompressed (written when ``compression`` is off)::
 
     "RSST1\\n"                                   magic
     data section:    repeated records
@@ -11,10 +13,30 @@ Layout (all integers big-endian)::
     footer:          [u64 index_off][u64 bloom_off][u64 record_count]
                      [u32 crc32(data)] [u32 meta_crc] "RSSTEND\\n"
 
-    ``meta_crc`` covers the index section, the bloom section *and* the other
-    footer fields, so any bit flip in the file outside the data section is
-    caught at open; the data CRC is checked by the explicit
-    :meth:`SSTableReader.verify` integrity pass (reads never pay for it)
+Version 2 -- block-compressed (written when ``compression`` is set)::
+
+    "RSST2\\n"                                   magic
+    data section:    repeated *blocks*, one per sparse-index entry
+                     [u8 codec][u32 raw_len][u32 stored_len]
+                     [u32 crc32(stored bytes)][stored bytes]
+                     where the stored bytes decompress to raw v1 records
+    index/bloom/footer: identical to v1 (index offsets point at block
+                     headers; the data CRC covers the data section's
+                     *file* bytes, headers included)
+
+The per-block CRC is computed over the **compressed** bytes, so a bit
+flip in a compressed block is caught before decompression ever runs --
+``_load_block`` checks it on every physical read, and :meth:`verify`'s
+streaming CRC covers the headers too, which keeps the PR-5 guarantee
+that compaction scrubbing detects (never launders) silent corruption.
+``codec`` ``0`` is stored verbatim: a block that does not shrink under
+compression is written raw, so pathological data costs 13 bytes of
+header, never a decompression step.
+
+``meta_crc`` covers the index section, the bloom section *and* the other
+footer fields, so any bit flip in the file outside the data section is
+caught at open; the data CRC is checked by the explicit
+:meth:`SSTableReader.verify` integrity pass (reads never pay for it).
 
 Each SSTable holds at most one record per key (the memtable collapses
 duplicate writes), so readers never need per-file sequence numbers; file
@@ -25,15 +47,20 @@ Record kinds reuse the WAL constants: ``PUT`` (full value), ``DELETE``
 older file).
 
 Readers are thread-safe: all data access goes through positioned reads
-(``os.pread``), so concurrent gets/scans never race on a shared file
-offset.  Data is read one *block* at a time -- the byte range between two
-consecutive sparse-index entries -- optionally through a shared
-:class:`~repro.kvstore.cache.BlockCache` of parsed records.
+(``os.pread``) or an optional read-only ``mmap`` (``use_mmap=True``), so
+concurrent gets/scans never race on a shared file offset.  The mmap path
+serves hot blocks and the bloom filter straight from the page cache (the
+bloom bits are a zero-copy buffer view); it is disabled automatically
+under an active fault schedule, where every byte must flow through the
+shim-visible file path.  Data is read one *block* at a time -- the byte
+range between two consecutive sparse-index entries -- optionally through
+a shared :class:`~repro.kvstore.cache.BlockCache` of parsed records.
 """
 
 from __future__ import annotations
 
 import itertools
+import mmap
 import os
 import struct
 import zlib
@@ -41,33 +68,55 @@ from bisect import bisect_right
 from typing import Iterable, Iterator
 
 from repro.faults.io import REAL_IO
+from repro.kvstore import blockcodec
 from repro.kvstore.api import CorruptSSTableError
+from repro.kvstore.blockcodec import CODEC_NONE
 from repro.kvstore.bloom import BloomFilter
 from repro.kvstore.cache import BlockCache
 
 MAGIC = b"RSST1\n"
+MAGIC_V2 = b"RSST2\n"
 END_MAGIC = b"RSSTEND\n"
 INDEX_INTERVAL = 16
 
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
 _FOOTER = struct.Struct(">QQQII")
+#: v2 block header: codec id, raw (decompressed) len, stored len, crc32(stored)
+_BLOCK_HEADER = struct.Struct(">BIII")
 
 
 class SSTableWriter:
-    """Streams sorted records into a new SSTable file."""
+    """Streams sorted records into a new SSTable file.
 
-    def __init__(self, path: str, expected_records: int = 1024, io=None) -> None:
+    ``compression`` selects the v2 block codec (``"zlib"``/``"zstd"``);
+    ``None`` keeps the byte-identical v1 format.  After :meth:`finish`,
+    :attr:`compressed_blocks` and :attr:`raw_data_bytes` report how many
+    blocks actually shrank and the pre-compression data size.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        expected_records: int = 1024,
+        io=None,
+        compression: str | None = None,
+    ) -> None:
         self._path = path
         self._tmp_path = path + ".tmp"
         self._io = io or REAL_IO
+        self._codec = blockcodec.resolve_compression(compression)
+        self._version = 2 if self._codec != CODEC_NONE else 1
         self._file = self._io.open(self._tmp_path, "wb")
-        self._file.write(MAGIC)
+        self._file.write(MAGIC if self._version == 1 else MAGIC_V2)
         self._bloom = BloomFilter.with_capacity(expected_records)
         self._index: list[tuple[bytes, int]] = []
+        self._block_buf = bytearray()
         self._count = 0
         self._data_crc = 0
         self._last_key: bytes | None = None
+        self.compressed_blocks = 0
+        self.raw_data_bytes = 0
 
     def add(self, key: bytes, kind: int, value: bytes) -> None:
         """Append one record; keys must arrive in strictly increasing order."""
@@ -75,17 +124,49 @@ class SSTableWriter:
             raise ValueError("SSTable records must be added in strictly increasing key order")
         self._last_key = key
         if self._count % INDEX_INTERVAL == 0:
+            if self._version == 2:
+                self._flush_block()
             self._index.append((key, self._file.tell()))
         self._bloom.add(key)
         record = (
             _U32.pack(len(key)) + key + bytes((kind,)) + _U32.pack(len(value)) + value
         )
-        self._data_crc = zlib.crc32(record, self._data_crc)
-        self._file.write(record)
+        self.raw_data_bytes += len(record)
+        if self._version == 2:
+            self._block_buf.extend(record)
+        else:
+            self._data_crc = zlib.crc32(record, self._data_crc)
+            self._file.write(record)
         self._count += 1
 
-    def finish(self, cache: BlockCache | None = None) -> "SSTableReader":
+    def _flush_block(self) -> None:
+        """Seal the buffered records as one v2 block (header + stored bytes)."""
+        if not self._block_buf:
+            return
+        raw = bytes(self._block_buf)
+        self._block_buf.clear()
+        stored = blockcodec.compress(self._codec, raw)
+        used = self._codec
+        if len(stored) >= len(raw):
+            stored, used = raw, CODEC_NONE  # incompressible: store verbatim
+        else:
+            self.compressed_blocks += 1
+        block = (
+            _BLOCK_HEADER.pack(used, len(raw), len(stored), zlib.crc32(stored))
+            + stored
+        )
+        self._data_crc = zlib.crc32(block, self._data_crc)
+        self._file.write(block)
+
+    def finish(
+        self,
+        cache: BlockCache | None = None,
+        use_mmap: bool = False,
+        metrics=None,
+    ) -> "SSTableReader":
         """Seal the file (atomically renamed into place) and open a reader."""
+        if self._version == 2:
+            self._flush_block()
         index_off = self._file.tell()
         index_buf = bytearray()
         for key, offset in self._index:
@@ -105,7 +186,13 @@ class SSTableWriter:
         self._io.fsync(self._file)
         self._file.close()
         self._io.replace(self._tmp_path, self._path)
-        return SSTableReader(self._path, cache=cache, io=self._io)
+        # Durably commit the rename itself: without the directory fsync an
+        # ext4-style journal replay can resurrect the pre-rename dentry and
+        # lose a fully-synced table.
+        self._io.fsync_dir(os.path.dirname(self._path) or ".")
+        return SSTableReader(
+            self._path, cache=cache, io=self._io, use_mmap=use_mmap, metrics=metrics
+        )
 
     def abort(self) -> None:
         """Discard a partially written table."""
@@ -115,29 +202,59 @@ class SSTableWriter:
 
 
 class SSTableReader:
-    """Random and sequential access over a sealed SSTable (thread-safe)."""
+    """Random and sequential access over a sealed SSTable (thread-safe).
+
+    ``use_mmap=True`` maps the file read-only and serves block reads and
+    bloom probes from the mapping (page cache) instead of ``pread``; the
+    knob silently degrades to ``pread`` when the file cannot be mapped or
+    when ``io`` carries a fault schedule (injected faults must see every
+    read).  ``metrics`` is an optional ``StoreMetrics`` whose
+    ``mmap_block_hits`` counter is bumped per block served via the map.
+    """
 
     _uids = itertools.count(1)
 
     def __init__(
-        self, path: str, cache: BlockCache | None = None, io=None
+        self,
+        path: str,
+        cache: BlockCache | None = None,
+        io=None,
+        use_mmap: bool = False,
+        metrics=None,
     ) -> None:
         self._path = path
-        self._file = (io or REAL_IO).open(path, "rb")
+        self._io = io or REAL_IO
+        self._file = self._io.open(path, "rb")
         self._fd = self._file.fileno()
         self._cache = cache
+        self._metrics = metrics
         self._uid = next(SSTableReader._uids)
-        self._load_footer()
+        self._mm: mmap.mmap | None = None
+        if use_mmap and not hasattr(self._io, "schedule"):
+            try:
+                self._mm = mmap.mmap(self._fd, 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):  # empty file / unmappable fs
+                self._mm = None
+        try:
+            self._load_footer()
+        except BaseException:
+            if self._mm is not None:
+                self._mm.close()
+            self._file.close()
+            raise
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        if self._mm is not None:
+            return self._mm[offset : offset + length]
+        return os.pread(self._fd, length, offset)
 
     def _load_footer(self) -> None:
-        self._file.seek(0, os.SEEK_END)
-        size = self._file.tell()
+        size = os.fstat(self._fd).st_size
         tail = _FOOTER.size + len(END_MAGIC)
         if size < len(MAGIC) + tail:
             raise CorruptSSTableError(f"SSTable {self._path} too small")
-        self._file.seek(size - tail)
-        footer = self._file.read(_FOOTER.size)
-        magic = self._file.read(len(END_MAGIC))
+        footer = self._read_at(size - tail, _FOOTER.size)
+        magic = self._read_at(size - tail + _FOOTER.size, len(END_MAGIC))
         if magic != END_MAGIC:
             raise CorruptSSTableError(f"SSTable {self._path} missing end magic")
         index_off, bloom_off, count, data_crc, meta_crc = _FOOTER.unpack(footer)
@@ -145,11 +262,14 @@ class SSTableReader:
             raise CorruptSSTableError(
                 f"SSTable {self._path} has implausible offsets"
             )
-        self._file.seek(0)
-        if self._file.read(len(MAGIC)) != MAGIC:
+        header = self._read_at(0, len(MAGIC))
+        if header == MAGIC:
+            self._version = 1
+        elif header == MAGIC_V2:
+            self._version = 2
+        else:
             raise CorruptSSTableError(f"SSTable {self._path} missing header magic")
-        self._file.seek(index_off)
-        meta = self._file.read(size - tail - index_off)
+        meta = self._read_at(index_off, size - tail - index_off)
         fields = footer[: struct.calcsize(">QQQI")]
         if zlib.crc32(meta + fields) != meta_crc:
             raise CorruptSSTableError(
@@ -157,12 +277,17 @@ class SSTableReader:
             )
         self._data_crc = data_crc
         index_buf = meta[: bloom_off - index_off]
-        bloom_buf = meta[bloom_off - index_off :]
         # The meta CRC already vouches for these bytes, but a writer bug (or
         # a collision-lucky flip) must still surface as a *typed* error --
         # never a raw struct.error/IndexError from the parse below.
         try:
-            self._bloom = BloomFilter.from_bytes(bloom_buf)
+            if self._mm is not None:
+                # Zero-copy: bloom bits stay in the page cache via the map.
+                self._bloom = BloomFilter.from_buffer(
+                    memoryview(self._mm)[bloom_off : size - tail]
+                )
+            else:
+                self._bloom = BloomFilter.from_bytes(meta[bloom_off - index_off :])
         except (struct.error, ValueError, IndexError) as exc:
             raise CorruptSSTableError(
                 f"SSTable {self._path} has a truncated or corrupt bloom "
@@ -196,23 +321,38 @@ class SSTableReader:
                 )
         self._count = count
         self._data_end = index_off
+        self._raw_data_bytes: int | None = None
 
     @property
     def path(self) -> str:
         return self._path
+
+    @property
+    def format_version(self) -> int:
+        """On-disk format: 1 (uncompressed) or 2 (block-compressed)."""
+        return self._version
+
+    @property
+    def mmap_active(self) -> bool:
+        """Whether reads are being served from a memory map."""
+        return self._mm is not None
 
     def verify(self) -> None:
         """Full integrity check of the data section against its CRC.
 
         Point reads and scans stay checksum-free (the index/bloom path is
         covered at open); call this for explicit scrubbing, e.g. after
-        restoring a backup.  Raises :class:`CorruptSSTableError` on mismatch.
+        restoring a backup.  The streaming CRC covers every data-section
+        byte -- for v2 files that includes each block header *and* its
+        compressed payload, so a flip anywhere is caught without paying
+        for decompression.  Raises :class:`CorruptSSTableError` on
+        mismatch.
         """
         offset = len(MAGIC)
         remaining = self._data_end - offset
         crc = 0
         while remaining > 0:
-            chunk = os.pread(self._fd, min(1 << 20, remaining), offset)
+            chunk = self._read_at(offset, min(1 << 20, remaining))
             if not chunk:
                 raise CorruptSSTableError(f"SSTable {self._path} data truncated")
             crc = zlib.crc32(chunk, crc)
@@ -227,8 +367,32 @@ class SSTableReader:
 
     @property
     def data_bytes(self) -> int:
-        """Size of the data section (used by size-tiered compaction)."""
+        """On-disk size of the data section (used by size-tiered compaction)."""
         return self._data_end - len(MAGIC)
+
+    @property
+    def raw_data_bytes(self) -> int:
+        """Pre-compression size of the data section.
+
+        Equals :attr:`data_bytes` for v1 files; for v2 it sums the
+        ``raw_len`` fields of the block headers (one 13-byte read per
+        block, computed lazily and cached).
+        """
+        if self._raw_data_bytes is None:
+            if self._version == 1:
+                self._raw_data_bytes = self.data_bytes
+            else:
+                total = 0
+                for slot in range(len(self._index_offsets)):
+                    start, end = self._block_bounds(slot)
+                    header = self._read_at(start, _BLOCK_HEADER.size)
+                    if len(header) != _BLOCK_HEADER.size:
+                        raise CorruptSSTableError(
+                            f"SSTable {self._path} truncated block header"
+                        )
+                    total += _BLOCK_HEADER.unpack(header)[1]
+                self._raw_data_bytes = total
+        return self._raw_data_bytes
 
     def may_contain(self, key: bytes) -> bool:
         """Bloom-filter pre-check (false positives possible, negatives exact)."""
@@ -299,13 +463,39 @@ class SSTableReader:
             if cached is not None:
                 return cached
         start, end = self._block_bounds(slot)
-        buf = os.pread(self._fd, end - start, start)
+        buf = self._read_at(start, end - start)
         if len(buf) != end - start:
             raise CorruptSSTableError(f"SSTable {self._path} data truncated")
+        if self._mm is not None and self._metrics is not None:
+            self._metrics.bump("mmap_block_hits")
+        if self._version == 2:
+            buf = self._decode_block(buf)
         records = self._parse_block(buf)
         if self._cache is not None and fill_cache:
             self._cache.put((self._uid, slot), records, weight=max(1, len(buf)))
         return records
+
+    def _decode_block(self, buf: bytes) -> bytes:
+        """Check a v2 block's CRC (over the stored bytes) and decompress it."""
+        if len(buf) < _BLOCK_HEADER.size:
+            raise CorruptSSTableError(f"SSTable {self._path} truncated block header")
+        codec, raw_len, stored_len, crc = _BLOCK_HEADER.unpack_from(buf, 0)
+        stored = buf[_BLOCK_HEADER.size :]
+        if len(stored) != stored_len:
+            raise CorruptSSTableError(
+                f"SSTable {self._path} block length mismatch "
+                f"(header says {stored_len}, block spans {len(stored)})"
+            )
+        if zlib.crc32(stored) != crc:
+            raise CorruptSSTableError(
+                f"SSTable {self._path} block CRC mismatch (compressed bytes)"
+            )
+        try:
+            return blockcodec.decompress(codec, stored, raw_len)
+        except ValueError as exc:
+            raise CorruptSSTableError(
+                f"SSTable {self._path} block failed to decompress: {exc}"
+            ) from None
 
     def _parse_block(self, buf: bytes) -> list[tuple[bytes, int, bytes]]:
         records: list[tuple[bytes, int, bytes]] = []
@@ -349,14 +539,23 @@ class SSTableReader:
     def close(self) -> None:
         if self._cache is not None:
             self._cache.evict_owner(self._uid)
+        if self._mm is not None:
+            # The bloom filter may hold a zero-copy view into the map;
+            # drop it first so closing the map cannot fault a live probe.
+            self._bloom = BloomFilter.from_bytes(self._bloom.to_bytes())
+            self._mm.close()
+            self._mm = None
         self._file.close()
 
 
 def write_sstable(
-    path: str, records: Iterable[tuple[bytes, int, bytes]], expected_records: int = 1024
+    path: str,
+    records: Iterable[tuple[bytes, int, bytes]],
+    expected_records: int = 1024,
+    compression: str | None = None,
 ) -> SSTableReader:
     """Write ``records`` (sorted by key) to ``path`` and return a reader."""
-    writer = SSTableWriter(path, expected_records)
+    writer = SSTableWriter(path, expected_records, compression=compression)
     try:
         for key, kind, value in records:
             writer.add(key, kind, value)

@@ -56,6 +56,14 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     "repro_store_block_cache_hits_total": ("counter", "Block-cache hits."),
     "repro_store_block_cache_misses_total": ("counter", "Block-cache misses."),
     "repro_store_multi_get_batches_total": ("counter", "Batched multi_get calls."),
+    "repro_store_compressed_blocks_total": (
+        "counter",
+        "SSTable blocks written compressed (blocks that actually shrank).",
+    ),
+    "repro_store_mmap_block_hits_total": (
+        "counter",
+        "SSTable blocks served from a memory map instead of pread.",
+    ),
     "repro_store_postings_cache_hits_total": (
         "counter",
         "Decoded-postings cache hits (bumped by the query layer).",
@@ -79,6 +87,10 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     # -- store shape gauges -------------------------------------------------
     "repro_store_sstables": ("gauge", "Live SSTables on disk."),
     "repro_store_tables": ("gauge", "Logical tables created."),
+    "repro_sstable_bytes_on_disk": (
+        "gauge",
+        "Total size of live SSTable files (post-compression bytes).",
+    ),
     # -- block cache occupancy ---------------------------------------------
     "repro_block_cache_entries": ("gauge", "Blocks currently cached."),
     "repro_block_cache_bytes": ("gauge", "Bytes currently cached."),
@@ -231,6 +243,7 @@ def store_samples(
     sstables: int | None = None,
     tables: int | None = None,
     cache_stats: dict[str, int] | None = None,
+    bytes_on_disk: int | None = None,
 ) -> dict[str, float]:
     """Map a :class:`~repro.kvstore.lsm.StoreMetrics` snapshot (plus shape
     gauges and block-cache occupancy) to exposition names."""
@@ -242,6 +255,8 @@ def store_samples(
         samples["repro_store_sstables"] = sstables
     if tables is not None:
         samples["repro_store_tables"] = tables
+    if bytes_on_disk is not None:
+        samples["repro_sstable_bytes_on_disk"] = bytes_on_disk
     if cache_stats:
         samples["repro_block_cache_entries"] = cache_stats.get("entries", 0)
         samples["repro_block_cache_bytes"] = cache_stats.get("weight", 0)

@@ -128,4 +128,5 @@ class TestRegistryCompleteness:
             "ablation_cache",
             "ablation_planner",
             "pattern_language",
+            "postings_compression",
         }

@@ -1,0 +1,184 @@
+"""Postings codec: exact round-trips, legacy interop, strict corrupt input."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CorruptPostingsError
+from repro.core.postings import (
+    TAG_FLOAT,
+    TAG_INT,
+    TAG_INTFLOAT,
+    TAG_RAW,
+    decode_index_value,
+    decode_postings,
+    encode_postings,
+)
+from repro.kvstore.encoding import encode_value
+
+_trace_ids = st.text(min_size=0, max_size=12)
+_int_ts = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+_float_ts = st.floats(allow_nan=False)
+_any_ts = st.one_of(_int_ts, _float_ts)
+
+
+def _entries(ts_strategy):
+    return st.lists(
+        st.tuples(_trace_ids, ts_strategy, ts_strategy), max_size=60
+    )
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert decode_postings(encode_postings([])) == []
+
+    def test_single_entry(self):
+        entries = [("trace-1", 10, 12)]
+        assert decode_postings(encode_postings(entries)) == entries
+
+    def test_non_monotonic_timestamps(self):
+        # Deltas go negative; zigzag must keep them exact.
+        entries = [("t", 100, 90), ("t", 5, 500), ("u", -7, -7), ("t", 80, 0)]
+        assert decode_postings(encode_postings(entries)) == entries
+
+    def test_int64_boundaries(self):
+        big = 2**63 - 1
+        entries = [("t", big, -big), ("t", 0, big), ("u", -(2**63), 0)]
+        assert decode_postings(encode_postings(entries)) == entries
+
+    @given(_entries(_int_ts))
+    @settings(max_examples=50, deadline=None)
+    def test_int_entries(self, entries):
+        assert decode_postings(encode_postings(entries)) == entries
+
+    @given(_entries(_float_ts))
+    @settings(max_examples=50, deadline=None)
+    def test_float_entries(self, entries):
+        assert decode_postings(encode_postings(entries)) == entries
+
+    @given(_entries(_any_ts))
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_type_entries(self, entries):
+        # Mixed int/float rows fall back to RAW; per-field types survive.
+        decoded = decode_postings(encode_postings(entries))
+        assert decoded == entries
+        for row, expected in zip(decoded, entries):
+            assert [type(v) for v in row] == [type(v) for v in expected]
+
+    def test_non_finite_floats_round_trip(self):
+        entries = [("t", math.inf, -math.inf), ("t", 0.5, math.inf)]
+        chunk = encode_postings(entries)
+        assert chunk[0] == TAG_FLOAT  # raw doubles, not int deltas
+        assert decode_postings(chunk) == entries
+
+    def test_nan_round_trips_via_float_format(self):
+        chunk = encode_postings([("t", math.nan, 1.0)])
+        ((trace, ts_a, ts_b),) = decode_postings(chunk)
+        assert trace == "t" and math.isnan(ts_a) and ts_b == 1.0
+
+
+class TestFormatSelection:
+    def test_all_int_picks_int(self):
+        assert encode_postings([("t", 1, 2)])[0] == TAG_INT
+
+    def test_integral_floats_pick_intfloat_and_stay_float(self):
+        chunk = encode_postings([("t", 1.0, 2.0)])
+        assert chunk[0] == TAG_INTFLOAT
+        ((_, ts_a, ts_b),) = decode_postings(chunk)
+        assert type(ts_a) is float and type(ts_b) is float
+
+    def test_bool_timestamp_falls_back_to_raw(self):
+        # bool is an int subclass; exact-type checks must not coerce it.
+        chunk = encode_postings([("t", True, 1)])
+        assert chunk[0] == TAG_RAW
+        assert decode_postings(chunk) == [("t", True, 1)]
+
+    def test_non_string_trace_id_falls_back_to_raw(self):
+        entries = [(42, 1, 2)]
+        chunk = encode_postings(entries)
+        assert chunk[0] == TAG_RAW
+        assert decode_postings(chunk) == entries
+
+    def test_large_floats_use_raw_doubles(self):
+        # 2**53 + 1 is not exactly representable as an "integral float"
+        # delta; the codec must not round it through int.
+        value = float(2**60)
+        chunk = encode_postings([("t", value, value)])
+        assert chunk[0] == TAG_FLOAT
+        assert decode_postings(chunk) == [("t", value, value)]
+
+    def test_compresses_realistic_postings(self):
+        entries = [
+            (f"trace-{i % 8}", 1_700_000_000 + i, 1_700_000_000 + i + 3)
+            for i in range(500)
+        ]
+        chunk = encode_postings(entries)
+        baseline = encode_value([list(e) for e in entries])
+        assert len(chunk) * 2 < len(baseline)
+
+
+class TestCorruptInput:
+    def test_empty_chunk(self):
+        with pytest.raises(CorruptPostingsError):
+            decode_postings(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CorruptPostingsError, match="unknown"):
+            decode_postings(b"\x7f\x01")
+
+    def test_truncated_varint(self):
+        chunk = encode_postings([("t", 1000000, 2000000)])
+        with pytest.raises(CorruptPostingsError):
+            decode_postings(chunk[:-1])
+
+    def test_trailing_bytes(self):
+        chunk = encode_postings([("t", 1, 2)])
+        with pytest.raises(CorruptPostingsError, match="trailing"):
+            decode_postings(chunk + b"\x00")
+
+    def test_overlong_varint(self):
+        with pytest.raises(CorruptPostingsError, match="overlong"):
+            decode_postings(bytes([TAG_INT]) + b"\xff" * 11)
+
+    def test_corrupt_raw_payload(self):
+        with pytest.raises(CorruptPostingsError):
+            decode_postings(bytes([TAG_RAW]) + b"\x99garbage")
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_bytes_never_crash_unexpectedly(self, blob):
+        # Any input either decodes to a list of 3-tuples or raises the
+        # typed error -- no IndexError/struct.error escapes.
+        try:
+            rows = decode_postings(blob)
+        except CorruptPostingsError:
+            return
+        assert isinstance(rows, list)
+        assert all(isinstance(r, tuple) for r in rows)
+
+
+class TestIndexValueInterop:
+    def test_splices_legacy_and_encoded_items(self):
+        legacy = [["t1", 1, 2], ("t2", 3, 4)]
+        encoded = encode_postings([("t3", 5, 6), ("t1", 7, 8)])
+        value = legacy + [encoded]
+        assert decode_index_value(value) == [
+            ("t1", 1, 2),
+            ("t2", 3, 4),
+            ("t3", 5, 6),
+            ("t1", 7, 8),
+        ]
+
+    def test_pure_legacy_value(self):
+        assert decode_index_value([["t", 1, 2]]) == [("t", 1, 2)]
+
+    def test_pure_encoded_value(self):
+        chunks = [
+            encode_postings([("a", 1, 2)]),
+            encode_postings([("b", 3, 4)]),
+        ]
+        assert decode_index_value(chunks) == [("a", 1, 2), ("b", 3, 4)]

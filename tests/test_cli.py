@@ -234,3 +234,25 @@ class TestDiffcheck:
         assert "DIVERGENCE" in out
         assert "diffcheck --seed 5" in out
         assert "1 seeds, 1 divergences" in out
+
+
+class TestStoreStats:
+    def test_stats_without_pattern_reports_storage(self, tmp_path, log_file, capsys):
+        store = str(tmp_path / "ix")
+        assert main(
+            ["index", "--log", log_file, "--store", store, "--compression", "zlib"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "index:" in out  # per-table record counts
+        assert "raw bytes:" in out
+        assert "compression ratio:" in out
+
+    def test_stats_with_pattern_still_works(self, store_dir, capsys):
+        assert main(["stats", "A,C", "--store", store_dir, "--mmap"]) == 0
+        assert "A -> C" in capsys.readouterr().out
+
+    def test_faults_accepts_compression(self, capsys):
+        assert main(["faults", "--seed", "3", "--compression", "zlib"]) == 0
+        assert "seed 3: ok" in capsys.readouterr().out
