@@ -923,6 +923,180 @@ def exp_postings_compression(
     return result
 
 
+def exp_sharded_service(
+    scale: float,
+    dataset: str = "max_10000",
+    length: int = 10,
+    num_patterns: int = 8,
+    clients: int = 8,
+    duration_s: float = 4.0,
+    write_fraction: float = 0.2,
+) -> ExperimentResult:
+    """Sharded scatter-gather service vs the single-store engine.
+
+    Not a paper experiment.  Indexes the Table 8 dataset into a
+    single-store engine and into 1/2/4-shard sharded stores, serves each
+    behind :class:`~repro.service.server.SequenceService`, and drives the
+    same closed-loop mixed read/write workload (Table 8 rare-pair
+    length-10 patterns, ``write_fraction`` ingest batches) against every
+    configuration.  Before any load runs, each sharded engine's match
+    sets are asserted byte-identical to the single-store engine's.
+    Writes a ``BENCH_sharded_service.json`` perf-trajectory snapshot with
+    p50/p99 latency and QPS per configuration.
+
+    The throughput win is a cache-retention story: every ingest bumps the
+    single-store engine's one write generation, evicting every warm query
+    in the process; on N shards the same ingest touches one shard, so the
+    other N-1 keep serving cached chains.
+    """
+    import json
+    import shutil
+    import tempfile
+
+    from repro.bench.workloads import rare_pair_patterns
+    from repro.core.engine import SequenceIndex
+    from repro.kvstore import LSMStore
+    from repro.service import SequenceService, run_loadgen
+    from repro.shard import ShardedSequenceIndex
+
+    result = ExperimentResult(
+        "sharded_service",
+        f"Sharded service under mixed read/write ({dataset}, "
+        f"{clients} clients, {write_fraction:.0%} writes)",
+        [
+            "engine",
+            "shards",
+            "qps",
+            "read p50 ms",
+            "read p99 ms",
+            "write p50 ms",
+            "write p99 ms",
+            "rejected",
+        ],
+    )
+    log = prepared_dataset(dataset, scale)
+    workdir = tempfile.mkdtemp(prefix="repro-sharded-service-")
+    configs: list[dict] = []
+    try:
+
+        def store_factory(path: str) -> LSMStore:
+            return LSMStore(path, memtable_flush_bytes=256 * 1024)
+
+        def run_config(name: str, engine, num_shards: int, reference):
+            """Serve ``engine``, assert correctness, run the load, record."""
+            if reference is not None:
+                for pattern, expected in reference:
+                    got = [
+                        (m.trace_id, m.timestamps)
+                        for m in engine.detect(pattern)
+                    ]
+                    assert got == expected, (
+                        f"sharded match set diverged on {pattern} "
+                        f"({num_shards} shards)"
+                    )
+            service = SequenceService(engine, port=0, max_inflight=clients * 2)
+            service.start()
+            host, port = service.address
+            try:
+                report = run_loadgen(
+                    host,
+                    port,
+                    patterns,
+                    clients=clients,
+                    duration_s=duration_s,
+                    write_fraction=write_fraction,
+                    seed=0,
+                )
+            finally:
+                service.shutdown()
+            read = report.latency_ms.get("read", {})
+            write = report.latency_ms.get("write", {})
+            result.add(
+                name,
+                num_shards,
+                report.qps,
+                read.get("p50", 0.0),
+                read.get("p99", 0.0),
+                write.get("p50", 0.0),
+                write.get("p99", 0.0),
+                report.rejected,
+            )
+            configs.append(
+                {
+                    "engine": name,
+                    "num_shards": num_shards,
+                    "qps": report.qps,
+                    "requests": report.requests,
+                    "rejected": report.rejected,
+                    "deadline_exceeded": report.deadline_exceeded,
+                    "errors": report.errors,
+                    "latency_ms": report.latency_ms,
+                    "matches_identical": reference is not None,
+                }
+            )
+
+        # -- single-store baseline (also the correctness reference) ---------
+        single = SequenceIndex(store_factory(f"{workdir}/single"))
+        single.update(log)
+        patterns = rare_pair_patterns(log, single, length, num_patterns)
+        reference = [
+            (
+                pattern,
+                [
+                    (m.trace_id, m.timestamps)
+                    for m in single.detect(pattern)
+                ],
+            )
+            for pattern in patterns
+        ]
+        try:
+            run_config("single", single, 1, None)
+        finally:
+            single.close()
+
+        # -- sharded configurations ----------------------------------------
+        for num_shards in (1, 2, 4):
+            sharded = ShardedSequenceIndex.open(
+                f"{workdir}/sharded-{num_shards}",
+                store_factory,
+                num_shards=num_shards,
+            )
+            try:
+                sharded.update(log)
+                run_config("sharded", sharded, num_shards, reference)
+            finally:
+                sharded.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    single_qps = configs[0]["qps"]
+    best = max(configs[1:], key=lambda c: c["qps"])
+    snapshot = {
+        "experiment": "sharded_service",
+        "dataset": dataset,
+        "scale": scale,
+        "pattern_length": length,
+        "patterns": len(patterns),
+        "clients": clients,
+        "duration_s": duration_s,
+        "write_fraction": write_fraction,
+        "single_store_qps": single_qps,
+        "best_sharded_qps": best["qps"],
+        "best_sharded_shards": best["num_shards"],
+        "speedup": best["qps"] / single_qps if single_qps else float("inf"),
+        "configs": configs,
+    }
+    with open("BENCH_sharded_service.json", "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    result.note(
+        "every sharded configuration's match sets asserted identical to "
+        "the single-store engine before load"
+    )
+    result.note("snapshot: BENCH_sharded_service.json")
+    return result
+
+
 #: every experiment, keyed by the name used on the runner command line
 ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "table4": exp_table4,
@@ -940,4 +1114,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[float], ExperimentResult]] = {
     "ablation_planner": exp_ablation_planner,
     "pattern_language": exp_pattern_language,
     "postings_compression": exp_postings_compression,
+    "sharded_service": exp_sharded_service,
 }

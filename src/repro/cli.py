@@ -4,14 +4,22 @@ Examples::
 
     python -m repro generate --dataset med_5000 --scale 0.1 --out log.csv
     python -m repro index --log log.csv --store ./ix --policy stnm
+    python -m repro index --log log.csv --store ./sx --shards 4
     python -m repro detect --store ./ix A,B,C --explain --profile
     python -m repro detect --store ./ix --pattern "SEQ(A, !B, (C|D)+) WITHIN 10"
     python -m repro stats  --store ./ix A,B,C
     python -m repro continue --store ./ix A,B --mode hybrid --top-k 5
     python -m repro profile --log log.csv --store ./ix
     python -m repro metrics --store ./ix
+    python -m repro serve --store ./sx --port 7700
+    python -m repro loadgen --port 7700 --pattern a,b --clients 4 --duration 5
     python -m repro faults --seed 1234
     python -m repro diffcheck --seeds 0:500
+
+Stores created with ``--shards N`` carry a ``SHARDS.json`` manifest; every
+other subcommand auto-detects it and opens the store through the
+scatter-gather coordinator, so ``detect``/``stats``/``serve`` work
+identically on single-store and sharded layouts.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.logs.csv_log import read_csv_log, write_csv_log
 from repro.logs.datasets import DATASETS, load_dataset
 from repro.logs.stats import format_distributions, format_profile_table, profile_log
 from repro.logs.xes import read_xes, write_xes
+from repro.shard import ShardedSequenceIndex, is_sharded_store
 
 _POLICIES = {"sc": Policy.SC, "stnm": Policy.STNM}
 _METHODS = {m.value: m for m in PairMethod}
@@ -40,20 +49,43 @@ def _read_log(path: str):
     return read_csv_log(path)
 
 
-def _open_index(args: argparse.Namespace) -> SequenceIndex:
+def _open_index(args: argparse.Namespace):
+    """Open the store behind ``args.store`` as the right engine.
+
+    A directory carrying a ``SHARDS.json`` manifest (or a fresh ``--shards N``
+    request) opens through :class:`ShardedSequenceIndex`; everything else is
+    a plain single-store :class:`SequenceIndex`.  Both expose the same query
+    surface, so the subcommands don't care which they got.
+    """
     policy = _POLICIES[getattr(args, "policy", "stnm")]
     method = _METHODS[args.method] if getattr(args, "method", None) else None
+
+    def make_store(path: str) -> LSMStore:
+        return LSMStore(
+            path,
+            background_compaction=getattr(args, "background_compaction", False),
+            compression=_compression_arg(args),
+            mmap=getattr(args, "mmap", False),
+        )
+
+    shards = getattr(args, "shards", None)
+    if shards or is_sharded_store(args.store):
+        # The coordinator brings its own thread pool; per-shard process
+        # executors would not compose with the scatter-gather fan-out.
+        return ShardedSequenceIndex.open(
+            args.store,
+            make_store,
+            num_shards=shards,
+            policy=policy,
+            method=method,
+        )
     executor = None
     workers = getattr(args, "workers", None)
     if workers and workers > 1:
         executor = ParallelExecutor(backend="process", max_workers=workers)
-    store = LSMStore(
-        args.store,
-        background_compaction=getattr(args, "background_compaction", False),
-        compression=_compression_arg(args),
-        mmap=getattr(args, "mmap", False),
+    return SequenceIndex(
+        make_store(args.store), policy=policy, method=method, executor=executor
     )
-    return SequenceIndex(store, policy=policy, method=method, executor=executor)
 
 
 def _compression_arg(args: argparse.Namespace) -> str | None:
@@ -179,7 +211,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def _store_stats(args: argparse.Namespace) -> int:
     """Storage-level report: per-table record counts, raw vs on-disk bytes,
-    and the compression ratio the block codec is achieving."""
+    and the compression ratio the block codec is achieving.
+
+    On a sharded store the report aggregates across shards: a per-shard
+    breakdown followed by the totals row."""
+    if is_sharded_store(args.store):
+        return _sharded_store_stats(args)
     with LSMStore(
         args.store, compression=_compression_arg(args), mmap=getattr(args, "mmap", False)
     ) as store:
@@ -208,9 +245,42 @@ def _store_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_store_stats(args: argparse.Namespace) -> int:
+    """Aggregate storage accounting across every shard of a sharded store."""
+    with _open_index(args) as index:
+        stats = index.storage_stats()
+        print(f"store {args.store} ({stats['num_shards']} shards)")
+        for entry in stats["shards"]:
+            sstables = entry.get("sstables", ())
+            print(
+                f"  shard {entry['shard']:02d}: {len(sstables)} sstables, "
+                f"{entry.get('records', 0)} records, "
+                f"raw={entry.get('raw_data_bytes', 0)} "
+                f"disk={entry.get('data_bytes', 0)}"
+            )
+        totals = stats["totals"]
+        print(
+            f"  totals: {totals['sstables']} sstables, "
+            f"{totals['records']} records"
+        )
+        print(
+            f"  raw bytes: {totals['raw_data_bytes']}  "
+            f"on-disk bytes: {totals['data_bytes']}  "
+            f"(files: {totals['file_bytes']})"
+        )
+        print(f"  compression ratio: {totals['compression_ratio']:.2f}x")
+    return 0
+
+
 def cmd_continue(args: argparse.Namespace) -> int:
     pattern = _pattern(args.pattern)
     with _open_index(args) as index:
+        if getattr(index, "num_shards", None):
+            raise SystemExit(
+                "continue requires a single-store index: continuation "
+                "ranking walks prefix state the sharded coordinator "
+                "does not maintain"
+            )
         proposals = index.continuations(
             pattern, mode=args.mode, top_k=args.top_k, within=args.within
         )
@@ -239,6 +309,75 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             matches = index.detect(_pattern(args.pattern), partition=partition)
             print(f"# ran detect {args.pattern!r}: {len(matches)} completions")
         sys.stdout.write(REGISTRY.render())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a store over the length-prefixed JSON protocol.
+
+    Runs until interrupted (or for ``--duration`` seconds when given --
+    handy for scripted smoke runs), then drains: in-flight requests finish,
+    new ones are refused with the ``shutdown`` error code.
+    """
+    import time
+
+    from repro.service import SequenceService
+
+    with _open_index(args) as index:
+        service = SequenceService(
+            index,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_ingest_inflight=args.max_ingest_inflight,
+            default_deadline_ms=args.deadline_ms,
+        )
+        service.start()
+        host, port = service.address
+        shards = getattr(index, "num_shards", 1)
+        print(f"serving {args.store} ({shards} shard(s)) on {host}:{port}")
+        sys.stdout.flush()
+        try:
+            if args.duration is not None:
+                time.sleep(args.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            print("interrupt: draining")
+        finally:
+            service.shutdown()
+    print("server stopped")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive closed-loop mixed read/write traffic at a running server.
+
+    Each ``--pattern`` is either a comma-separated plain sequence (sent as
+    a list) or a composite expression (anything containing ``(``, sent as
+    a string).  The report prints as JSON: request counts, rejections,
+    p50/p95/p99 latency per operation class, and overall QPS.
+    """
+    import json
+
+    from repro.service import run_loadgen
+
+    patterns: list[object] = []
+    for raw in args.pattern:
+        patterns.append(raw if "(" in raw else _pattern(raw))
+    report = run_loadgen(
+        args.host,
+        args.port,
+        patterns,
+        clients=args.clients,
+        duration_s=args.duration,
+        write_fraction=args.write_fraction,
+        write_batch=args.write_batch,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    print(json.dumps(report.to_dict(), indent=2))
     return 0
 
 
@@ -391,6 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
         if with_build:
             p.add_argument("--method", choices=sorted(_METHODS), default=None)
             p.add_argument("--workers", type=int, default=1)
+            p.add_argument(
+                "--shards",
+                type=int,
+                default=None,
+                help="create a sharded store with N LSM shards (existing "
+                "stores keep their manifest's count; resharding is not "
+                "supported)",
+            )
             p.add_argument("--partition", default="", help="index partition name")
             p.add_argument(
                 "--background-compaction",
@@ -471,6 +618,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     met.add_argument("--partition", default="", help="partition ('' = default)")
     met.set_defaults(fn=cmd_metrics)
+
+    srv = sub.add_parser(
+        "serve", help="serve a store to network clients (single or sharded)"
+    )
+    add_store_args(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = ephemeral)"
+    )
+    srv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="admission control: concurrent queries before 'overloaded'",
+    )
+    srv.add_argument(
+        "--max-ingest-inflight",
+        type=int,
+        default=2,
+        help="concurrent ingest batches before backpressure kicks in",
+    )
+    srv.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (clients may override)",
+    )
+    srv.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then drain (default: until Ctrl-C)",
+    )
+    srv.set_defaults(fn=cmd_serve)
+
+    lod = sub.add_parser(
+        "loadgen", help="closed-loop load generator against a running server"
+    )
+    lod.add_argument("--host", default="127.0.0.1")
+    lod.add_argument("--port", type=int, required=True)
+    lod.add_argument(
+        "--pattern",
+        action="append",
+        required=True,
+        help="read pattern (repeatable): A,B,C or a composite 'SEQ(...)'",
+    )
+    lod.add_argument("--clients", type=int, default=4)
+    lod.add_argument("--duration", type=float, default=5.0)
+    lod.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.2,
+        help="probability each request is an ingest batch",
+    )
+    lod.add_argument("--write-batch", type=int, default=8)
+    lod.add_argument("--deadline-ms", type=float, default=None)
+    lod.add_argument("--seed", type=int, default=0)
+    lod.set_defaults(fn=cmd_loadgen)
 
     flt = sub.add_parser(
         "faults", help="replay crash-recovery fault-injection seeds"

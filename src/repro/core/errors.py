@@ -18,6 +18,7 @@ __all__ = [
     "PatternSyntaxError",
     "PolicyMismatchError",
     "IndexStateError",
+    "DeadlineExceeded",
     "CorruptionError",
     "CorruptSSTableError",
     "CorruptPostingsError",
@@ -46,3 +47,13 @@ class PolicyMismatchError(ReproError):
 
 class IndexStateError(ReproError):
     """The index store is missing tables or metadata it should contain."""
+
+
+class DeadlineExceeded(ReproError):
+    """A deadline expired before the operation finished.
+
+    Raised by the executor's deadline-aware ``gather`` and surfaced by the
+    query service as a ``deadline`` error response; work still running on
+    other threads is abandoned (pending futures are cancelled) but never
+    leaves shared state inconsistent -- reads are side-effect free.
+    """

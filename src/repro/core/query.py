@@ -63,13 +63,30 @@ class _PlannedPostings:
     decoding/grouping into per-trace sorted completion lists happens only on
     demand (and only for surviving traces when no postings cache is
     attached, since a partial grouping must not be memoized).
+
+    ``within`` pushes a WITHIN window into pruning: completions whose own
+    span exceeds the window are dropped from every grouping and trace set
+    this query sees.  That is exact for the plain chain join -- a chain's
+    timestamps are monotonic, so every pair completion inside a chain of
+    duration <= tau itself spans <= tau, and dropping entries can never
+    *create* a chain -- but unsound for composite verification, where the
+    STNM matcher may retry from a later occurrence than the greedy pair
+    recorded (see DESIGN.md).  Only the filtered *view* is per-query; the
+    shared postings cache always stores unfiltered groupings.
     """
 
-    def __init__(self, query: "QueryProcessor", plan: QueryPlan) -> None:
+    def __init__(
+        self,
+        query: "QueryProcessor",
+        plan: QueryPlan,
+        within: float | None = None,
+    ) -> None:
         self._query = query
         self._pairs = plan.pairs
         self._partition = plan.partition
+        self._within = within
         self._grouped: dict[int, dict[str, list[tuple[float, float]]]] = {}
+        self._full: dict[int, dict[str, list[tuple[float, float]]]] = {}
         self._raw: dict[int, list[tuple[str, float, float]]] = {}
         self._trace_sets: dict[int, set[str]] = {}
         span = current_tracer().span("fetch_postings")
@@ -78,7 +95,7 @@ class _PlannedPostings:
             for i, pair in enumerate(self._pairs):
                 hit = query._postings_cache_get(pair, self._partition)
                 if hit is not None:
-                    self._grouped[i] = hit
+                    self._full[i] = hit
                 else:
                     missing.append(i)
             if missing:
@@ -92,48 +109,82 @@ class _PlannedPostings:
                 span.add("cache_hits", len(self._pairs) - len(missing))
                 span.add("fetched", len(missing))
                 span.add("entries", sum(len(raw) for raw in self._raw.values()))
+                if within is not None:
+                    span.add("within_pushdown", 1)
 
     def trace_set(self, i: int) -> set[str]:
-        """Trace ids holding at least one completion of pair ``i``."""
+        """Trace ids holding at least one in-window completion of pair ``i``."""
         cached = self._trace_sets.get(i)
         if cached is None:
-            grouped = self._grouped.get(i)
-            if grouped is not None:
-                cached = set(grouped)
-            else:
+            within = self._within
+            full = self._full.get(i)
+            if full is not None:
+                if within is None:
+                    cached = set(full)
+                else:
+                    cached = {
+                        trace_id
+                        for trace_id, completions in full.items()
+                        if any(ts_b - ts_a <= within for ts_a, ts_b in completions)
+                    }
+            elif within is None:
                 cached = {entry[0] for entry in self._raw[i]}
+            else:
+                cached = {
+                    trace_id
+                    for trace_id, ts_a, ts_b in self._raw[i]
+                    if ts_b - ts_a <= within
+                }
             self._trace_sets[i] = cached
         return cached
 
     def group(
         self, i: int, restrict: set[str]
     ) -> dict[str, list[tuple[float, float]]]:
-        """Per-trace sorted completions of pair ``i``.
+        """Per-trace sorted (window-surviving) completions of pair ``i``.
 
-        With a postings cache attached the full grouping is built once and
-        memoized (hot pairs skip re-decode/re-group on later queries);
-        without one only ``restrict`` traces are decoded.
+        With a postings cache attached the full unfiltered grouping is built
+        once and memoized (hot pairs skip re-decode/re-group on later
+        queries); without one only ``restrict`` traces are decoded.
         """
         grouped = self._grouped.get(i)
         if grouped is not None:
             return grouped
-        raw = self._raw[i]
-        if self._query.postings_cache is not None:
-            grouped = _group_entries(raw, None)
-            self._query._postings_cache_put(self._pairs[i], self._partition, grouped)
+        full = self._full.get(i)
+        if full is None:
+            raw = self._raw[i]
+            if self._query.postings_cache is not None:
+                full = _group_entries(raw, None)
+                self._query._postings_cache_put(self._pairs[i], self._partition, full)
+                self._full[i] = full
+            else:
+                grouped = _group_entries(raw, restrict, self._within)
+                self._grouped[i] = grouped
+                return grouped
+        if self._within is None:
+            grouped = full
         else:
-            grouped = _group_entries(raw, restrict)
+            within = self._within
+            grouped = {}
+            for trace_id, completions in full.items():
+                kept = [c for c in completions if c[1] - c[0] <= within]
+                if kept:
+                    grouped[trace_id] = kept
         self._grouped[i] = grouped
         return grouped
 
 
 def _group_entries(
-    entries: list[tuple[str, float, float]], restrict: set[str] | None
+    entries: list[tuple[str, float, float]],
+    restrict: set[str] | None,
+    within: float | None = None,
 ) -> dict[str, list[tuple[float, float]]]:
     """Group raw index entries per trace (each list time-ordered)."""
     grouped: dict[str, list[tuple[float, float]]] = {}
     for trace_id, ts_a, ts_b in entries:
         if restrict is not None and trace_id not in restrict:
+            continue
+        if within is not None and ts_b - ts_a > within:
             continue
         grouped.setdefault(trace_id, []).append((ts_a, ts_b))
     for completions in grouped.values():
@@ -295,6 +346,41 @@ class QueryProcessor:
                 partition=partition,
             )
 
+    def cardinalities(
+        self, pairs: Sequence[tuple[str, str]]
+    ) -> tuple[int, ...]:
+        """Exact ``Count``-table completion counts for arbitrary pairs.
+
+        Public for the scatter-gather coordinator, which sums each shard's
+        cardinalities into the merged counts a global plan is built from.
+        """
+        return self._cardinalities(tuple(pairs))
+
+    def plan_from_cardinalities(
+        self,
+        pattern: Sequence[str],
+        cardinalities: Sequence[int],
+        partition: str | None = "",
+    ) -> QueryPlan:
+        """Build a plan from externally supplied (e.g. cluster-wide merged)
+        cardinalities instead of this store's own ``Count`` rows."""
+        if len(pattern) < 2:
+            raise EmptyPatternError("planning needs a pattern of length >= 2")
+        pairs = tuple(zip(pattern, pattern[1:]))
+        if len(cardinalities) != len(pairs):
+            raise ValueError("need one cardinality per consecutive pair")
+        cards = tuple(int(c) for c in cardinalities)
+        natural = tuple(range(len(pairs)))
+        order = _rarest_first_order(cards) if self.planner_enabled else natural
+        return QueryPlan(
+            pattern=tuple(pattern),
+            pairs=pairs,
+            cardinalities=cards,
+            order=order,
+            reordered=order != natural,
+            partition=partition,
+        )
+
     def _cardinalities(self, pairs: tuple[tuple[str, str], ...]) -> tuple[int, ...]:
         """Exact completion counts per pair, through the Count-row cache."""
         generation = self._generation()
@@ -323,6 +409,7 @@ class QueryProcessor:
         policy: Policy | None = None,
         max_matches: int | None = None,
         within: float | None = None,
+        plan: QueryPlan | None = None,
     ) -> list[PatternMatch]:
         """All completions of ``pattern``, one match per completion.
 
@@ -331,7 +418,13 @@ class QueryProcessor:
         ``policy=Policy.STAM`` the relaxed overlapping semantics are used
         (see the module docstring); ``max_matches`` caps STAM explosion.
         ``within`` keeps only matches whose end-to-end span is at most that
-        long (a CEP-style WITHIN window applied at query time).
+        long (a CEP-style WITHIN window); the window is also pushed into the
+        planned chain join, where per-completion span filtering is exact.
+        ``plan`` overrides planning with a precomputed
+        :class:`~repro.core.matches.QueryPlan` (the scatter-gather
+        coordinator plans once from merged cardinalities and hands every
+        shard the same plan); the plan never changes the result, only the
+        join order.
         """
         if len(pattern) == 0:
             raise EmptyPatternError("cannot detect an empty pattern")
@@ -342,7 +435,7 @@ class QueryProcessor:
         elif len(pattern) == 1:
             matches = self._detect_single(pattern[0])
         else:
-            chains = self._chain(pattern, partition)
+            chains = self._chain(pattern, partition, within=within, plan=plan)
             span = current_tracer().span("materialize")
             with span:
                 matches = [
@@ -354,6 +447,8 @@ class QueryProcessor:
                     span.add("matches", len(matches))
         if within is not None:
             matches = [m for m in matches if m.duration <= within]
+        if max_matches is not None and policy is not Policy.STAM:
+            matches = matches[:max_matches]
         return matches
 
     def count(
@@ -361,6 +456,7 @@ class QueryProcessor:
         pattern: Sequence[str],
         partition: str | None = "",
         within: float | None = None,
+        plan: QueryPlan | None = None,
     ) -> int:
         """Number of completions of ``pattern``.
 
@@ -380,7 +476,7 @@ class QueryProcessor:
                 for activity, _ in seq
                 if activity == pattern[0]
             )
-        chains = self._chain(pattern, partition)
+        chains = self._chain(pattern, partition, within=within, plan=plan)
         if within is None:
             return sum(len(trace_chains) for trace_chains in chains.values())
         return sum(
@@ -411,7 +507,12 @@ class QueryProcessor:
         ]
         return result
 
-    def contains(self, pattern: Sequence[str], partition: str | None = "") -> list[str]:
+    def contains(
+        self,
+        pattern: Sequence[str],
+        partition: str | None = "",
+        plan: QueryPlan | None = None,
+    ) -> list[str]:
         """Ids of traces containing ``pattern`` at least once.
 
         Short-circuits per trace: candidate traces are intersected from the
@@ -426,9 +527,10 @@ class QueryProcessor:
                 for trace_id, seq in self.tables.iter_sequences()
                 if any(activity == pattern[0] for activity, _ in seq)
             )
-        plan = self.plan(pattern, partition)
-        if 0 in plan.cardinalities:
-            return []
+        if plan is None:
+            plan = self.plan(pattern, partition)
+            if 0 in plan.cardinalities:
+                return []
         self._note_executed(plan)
         postings = _PlannedPostings(self, plan)
         survivors = self._intersect_candidates(plan, postings)
@@ -497,17 +599,7 @@ class QueryProcessor:
         """
         span = current_tracer().span("plan")
         with span:
-            elements = pattern.elements
-            positives = pattern.positive_indices
-            groups: list[tuple[tuple[str, str], ...]] = []
-            for left, right in zip(positives, positives[1:]):
-                groups.append(
-                    tuple(
-                        (a, b)
-                        for a in elements[left].types
-                        for b in elements[right].types
-                    )
-                )
+            groups = self.pattern_groups(pattern)
             flat = tuple(pair for group in groups for pair in group)
             flat_cards = self._cardinalities(flat) if flat else ()
             cardinalities: list[int] = []
@@ -531,15 +623,57 @@ class QueryProcessor:
                 cardinalities=tuple(cardinalities),
                 order=order,
                 reordered=order != natural,
-                negated=tuple(str(e) for e in elements if e.negated),
+                negated=tuple(str(e) for e in pattern.elements if e.negated),
                 partition=partition,
             )
+
+    def pattern_groups(
+        self, pattern: Pattern
+    ) -> tuple[tuple[tuple[str, str], ...], ...]:
+        """The pruning groups of ``pattern`` (deterministic, plan-free)."""
+        elements = pattern.elements
+        positives = pattern.positive_indices
+        return tuple(
+            tuple(
+                (a, b)
+                for a in elements[left].types
+                for b in elements[right].types
+            )
+            for left, right in zip(positives, positives[1:])
+        )
+
+    def plan_pattern_from_cardinalities(
+        self,
+        pattern: Pattern,
+        cardinalities: Sequence[int],
+        partition: str | None = "",
+    ) -> PatternPlan:
+        """Build a composite plan from externally merged group cardinalities."""
+        groups = self.pattern_groups(pattern)
+        if len(cardinalities) != len(groups):
+            raise ValueError("need one cardinality per pruning group")
+        cards = tuple(int(c) for c in cardinalities)
+        natural = tuple(range(len(groups)))
+        if self.planner_enabled:
+            order = tuple(sorted(natural, key=lambda i: (cards[i], i)))
+        else:
+            order = natural
+        return PatternPlan(
+            pattern=pattern,
+            groups=groups,
+            cardinalities=cards,
+            order=order,
+            reordered=order != natural,
+            negated=tuple(str(e) for e in pattern.elements if e.negated),
+            partition=partition,
+        )
 
     def detect_pattern(
         self,
         pattern: Pattern,
         partition: str | None = "",
         max_matches: int | None = None,
+        plan: PatternPlan | None = None,
     ) -> list[PatternMatch]:
         """All matches of a composite ``pattern`` (STNM-greedy semantics).
 
@@ -552,9 +686,10 @@ class QueryProcessor:
         oracle (:class:`repro.baselines.sase.nfa.PatternNfa`) exactly --
         the differential suite holds the two paths byte-identical.
         """
-        plan = self.plan_pattern(pattern, partition)
-        if plan.groups and 0 in plan.cardinalities:
-            return []
+        if plan is None:
+            plan = self.plan_pattern(pattern, partition)
+            if plan.groups and 0 in plan.cardinalities:
+                return []
         self._note_executed(plan)
         candidates = self._pattern_candidates(plan)
         if candidates is not None and not candidates:
@@ -577,7 +712,12 @@ class QueryProcessor:
                 span.add("matches", len(matches))
             return matches
 
-    def count_pattern(self, pattern: Pattern, partition: str | None = "") -> int:
+    def count_pattern(
+        self,
+        pattern: Pattern,
+        partition: str | None = "",
+        plan: PatternPlan | None = None,
+    ) -> int:
         """Number of matches of a composite ``pattern``.
 
         Same pruning as :meth:`detect_pattern`; no
@@ -585,9 +725,10 @@ class QueryProcessor:
         zero-cardinality positive group short-circuits before any trace
         sequence is fetched.
         """
-        plan = self.plan_pattern(pattern, partition)
-        if plan.groups and 0 in plan.cardinalities:
-            return 0
+        if plan is None:
+            plan = self.plan_pattern(pattern, partition)
+            if plan.groups and 0 in plan.cardinalities:
+                return 0
         self._note_executed(plan)
         candidates = self._pattern_candidates(plan)
         if candidates is not None and not candidates:
@@ -600,16 +741,20 @@ class QueryProcessor:
         return total
 
     def contains_pattern(
-        self, pattern: Pattern, partition: str | None = ""
+        self,
+        pattern: Pattern,
+        partition: str | None = "",
+        plan: PatternPlan | None = None,
     ) -> list[str]:
         """Ids of traces with at least one match of a composite ``pattern``.
 
         Short-circuits per trace at the first match that survives every
         window and negation check.
         """
-        plan = self.plan_pattern(pattern, partition)
-        if plan.groups and 0 in plan.cardinalities:
-            return []
+        if plan is None:
+            plan = self.plan_pattern(pattern, partition)
+            if plan.groups and 0 in plan.cardinalities:
+                return []
         self._note_executed(plan)
         candidates = self._pattern_candidates(plan)
         if candidates is not None and not candidates:
@@ -705,12 +850,16 @@ class QueryProcessor:
         return matches
 
     def _chain(
-        self, pattern: Sequence[str], partition: str | None
+        self,
+        pattern: Sequence[str],
+        partition: str | None,
+        within: float | None = None,
+        plan: QueryPlan | None = None,
     ) -> dict[str, list[Chain]]:
         """Algorithm 2: join consecutive pair entries on shared timestamps."""
-        if not self.planner_enabled:
+        if not self.planner_enabled and plan is None:
             return self._chain_left_to_right(pattern, partition)
-        return self._chain_planned(pattern, partition)
+        return self._chain_planned(pattern, partition, within=within, plan=plan)
 
     def _note_executed(self, plan: QueryPlan) -> None:
         if plan.reordered:
@@ -743,7 +892,11 @@ class QueryProcessor:
             return result
 
     def _chain_planned(
-        self, pattern: Sequence[str], partition: str | None
+        self,
+        pattern: Sequence[str],
+        partition: str | None,
+        within: float | None = None,
+        plan: QueryPlan | None = None,
     ) -> dict[str, list[Chain]]:
         """Planner execution: rarest pair first, bidirectional extension.
 
@@ -752,13 +905,14 @@ class QueryProcessor:
         chains extend uniquely in either direction); each trace's chains are
         sorted, which is the order left-to-right evaluation emits.
         """
-        plan = self.plan(pattern, partition)
-        if 0 in plan.cardinalities:
-            # Count is global and exact: a zero-cardinality pair has no
-            # postings in any partition, so the chain is dead on arrival.
-            return {}
+        if plan is None:
+            plan = self.plan(pattern, partition)
+            if 0 in plan.cardinalities:
+                # Count is global and exact: a zero-cardinality pair has no
+                # postings in any partition, so the chain is dead on arrival.
+                return {}
         self._note_executed(plan)
-        postings = _PlannedPostings(self, plan)
+        postings = _PlannedPostings(self, plan, within=within)
         survivors = self._intersect_candidates(plan, postings)
         if not survivors:
             return {}

@@ -16,12 +16,26 @@ parallel output always equals serial output.  With ``balanced=True`` items
 are dealt round-robin across workers (good when per-item cost is skewed,
 e.g. traces sorted by length) and the results are stitched back into input
 order afterwards.
+
+With ``persistent=True`` the pool is created once and reused across calls
+(call :meth:`ParallelExecutor.close` when done) -- the mode the sharded
+query service runs in, where paying thread start-up per query would swamp
+sub-millisecond fan-outs.  :meth:`ParallelExecutor.gather` runs independent
+thunks concurrently with an optional absolute deadline; on expiry it cancels
+whatever has not started and raises :class:`~repro.core.errors.DeadlineExceeded`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.executor.partition import partition_items, partition_round_robin
@@ -56,6 +70,7 @@ class ParallelExecutor:
         backend: str = "serial",
         max_workers: int | None = None,
         balanced: bool = True,
+        persistent: bool = False,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -64,6 +79,9 @@ class ParallelExecutor:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.balanced = balanced
+        self.persistent = persistent
+        self._shared_pool: Executor | None = None
+        self._closed = False
 
     @classmethod
     def serial(cls) -> "ParallelExecutor":
@@ -79,12 +97,42 @@ class ParallelExecutor:
             return partition_round_robin(indexed, self._num_partitions())
         return partition_items(indexed, self._num_partitions())
 
-    def _pool(self) -> Executor | None:
+    def _make_pool(self) -> Executor | None:
         if self.backend == "thread":
             return ThreadPoolExecutor(max_workers=self.max_workers)
         if self.backend == "process":
             return ProcessPoolExecutor(max_workers=self.max_workers)
         return None
+
+    def _pool(self) -> tuple[Executor | None, bool]:
+        """Return ``(pool, owned)``; an owned pool must be shut down by the
+        caller, a shared (persistent) pool must not."""
+        if self.backend == "serial":
+            return None, False
+        if not self.persistent:
+            return self._make_pool(), True
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._shared_pool is None:
+            self._shared_pool = self._make_pool()
+        return self._shared_pool, False
+
+    def close(self) -> None:
+        """Shut down the persistent pool, waiting for in-flight work.
+
+        Idempotent; only meaningful with ``persistent=True``.  After close
+        the executor refuses new work.
+        """
+        self._closed = True
+        pool, self._shared_pool = self._shared_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _run_indexed(
         self,
@@ -95,13 +143,16 @@ class ParallelExecutor:
         partitions = self._partition_indexed(items)
         if not partitions:
             return []
-        pool = self._pool()
+        pool, owned = self._pool()
         if pool is None:
             chunks = [runner(func, partition) for partition in partitions]
         else:
-            with pool:
+            try:
                 futures = [pool.submit(runner, func, p) for p in partitions]
                 chunks = [future.result() for future in futures]
+            finally:
+                if owned:
+                    pool.shutdown(wait=True)
         ordered: list[R] = [None] * len(items)  # type: ignore[list-item]
         for chunk in chunks:
             for index, result in chunk:
@@ -131,20 +182,80 @@ class ParallelExecutor:
         partitions = partition_items(items, self._num_partitions())
         if not partitions:
             return []
-        pool = self._pool()
+        pool, owned = self._pool()
         if pool is None:
             chunks = [func(partition) for partition in partitions]
         else:
-            with pool:
+            try:
                 futures = [pool.submit(_run_partition, func, p) for p in partitions]
                 chunks = [future.result() for future in futures]
+            finally:
+                if owned:
+                    pool.shutdown(wait=True)
         out: list[R] = []
         for chunk in chunks:
             out.extend(chunk)
         return out
 
+    def gather(
+        self,
+        thunks: Sequence[Callable[[], R]],
+        deadline: float | None = None,
+    ) -> list[R]:
+        """Run zero-argument thunks concurrently; results in input order.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  If it
+        passes before every thunk finished, pending futures are cancelled
+        (started ones run to completion but their results are discarded) and
+        :class:`~repro.core.errors.DeadlineExceeded` is raised.  On the
+        serial backend thunks run inline and the deadline is checked between
+        thunks -- a single thunk is never interrupted.
+        """
+        from repro.core.errors import DeadlineExceeded
+
+        if not thunks:
+            return []
+        pool, owned = self._pool()
+        if pool is None:
+            results: list[R] = []
+            for thunk in thunks:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise DeadlineExceeded(
+                        f"deadline expired after {len(results)}/{len(thunks)} tasks"
+                    )
+                results.append(thunk())
+            return results
+        futures: list[Future[R]] = []
+        expired = False
+        try:
+            futures = [pool.submit(thunk) for thunk in thunks]
+            results = []
+            for future in futures:
+                if deadline is None:
+                    results.append(future.result())
+                    continue
+                remaining = deadline - time.monotonic()
+                try:
+                    results.append(future.result(timeout=max(remaining, 0.0)))
+                except FutureTimeoutError:
+                    expired = True
+                    raise DeadlineExceeded(
+                        f"deadline expired after {len(results)}/{len(thunks)} tasks"
+                    ) from None
+            return results
+        finally:
+            for future in futures:
+                future.cancel()
+            if owned:
+                # On a deadline miss, do NOT wait for the abandoned thunk:
+                # the whole point of the deadline is answering on time.  The
+                # worker thread finishes on its own and the pool is garbage
+                # collected afterwards.
+                pool.shutdown(wait=not expired, cancel_futures=True)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ParallelExecutor(backend={self.backend!r}, "
-            f"max_workers={self.max_workers}, balanced={self.balanced})"
+            f"max_workers={self.max_workers}, balanced={self.balanced}, "
+            f"persistent={self.persistent})"
         )

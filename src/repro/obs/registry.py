@@ -130,6 +130,39 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter",
         "Queries that exceeded the slow-query threshold.",
     ),
+    # -- sharded coordinator ------------------------------------------------
+    "repro_shard_count": ("gauge", "Shards behind the sharded index."),
+    "repro_shard_fanout_total": (
+        "counter",
+        "Scatter-gather fan-outs issued (one per coordinator query stage).",
+    ),
+    "repro_shard_fanout_deadline_total": (
+        "counter",
+        "Fan-outs cancelled because the per-request deadline expired.",
+    ),
+    # -- query service ------------------------------------------------------
+    "repro_service_requests_total": ("counter", "Requests received."),
+    "repro_service_rejected_total": (
+        "counter",
+        "Queries refused by admission control ('overloaded').",
+    ),
+    "repro_service_ingest_rejected_total": (
+        "counter",
+        "Ingest batches refused after the bounded backpressure wait.",
+    ),
+    "repro_service_deadline_exceeded_total": (
+        "counter",
+        "Requests that missed their deadline (before or during execution).",
+    ),
+    "repro_service_errors_total": (
+        "counter",
+        "Requests that failed with an unexpected server-side error.",
+    ),
+    "repro_service_connections_total": ("counter", "Client connections accepted."),
+    "repro_service_active_requests": (
+        "gauge",
+        "Requests currently executing inside the engine.",
+    ),
     # -- fault injection ----------------------------------------------------
     "repro_faults_injected_total": (
         "counter",

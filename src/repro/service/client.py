@@ -1,0 +1,130 @@
+"""Blocking client for the query service.
+
+One :class:`ServiceClient` wraps one TCP connection; requests on it are
+serialized under a lock (the protocol is strict request/response per
+connection), so share a client across threads freely or open one per worker
+for parallel traffic -- the load generator does the latter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Sequence
+
+from repro.service.protocol import recv_frame, send_frame
+
+
+class ServiceError(Exception):
+    """A structured error response from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Synchronous client; every method raises :class:`ServiceError` on a
+    structured failure and ``OSError`` on transport failure."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _call(self, op: str, **fields: Any) -> Any:
+        request = {"id": next(self._ids), "op": op}
+        request.update({k: v for k, v in fields.items() if v is not None})
+        with self._lock:
+            send_frame(self._sock, request)
+            response = recv_frame(self._sock)
+        if response is None:
+            raise OSError("connection closed by server")
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("code", "internal"),
+                response.get("error", "unknown error"),
+            )
+        return response.get("result")
+
+    def ping(self) -> str:
+        return self._call("ping")
+
+    def detect(
+        self,
+        pattern: Sequence[str] | str,
+        partition: str = "",
+        max_matches: int | None = None,
+        within: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> list[dict[str, Any]]:
+        return self._call(
+            "detect",
+            pattern=list(pattern) if not isinstance(pattern, str) else pattern,
+            partition=partition,
+            max_matches=max_matches,
+            within=within,
+            deadline_ms=deadline_ms,
+        )
+
+    def count(
+        self,
+        pattern: Sequence[str] | str,
+        partition: str = "",
+        within: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> int:
+        return self._call(
+            "count",
+            pattern=list(pattern) if not isinstance(pattern, str) else pattern,
+            partition=partition,
+            within=within,
+            deadline_ms=deadline_ms,
+        )
+
+    def contains(
+        self,
+        pattern: Sequence[str] | str,
+        partition: str = "",
+        deadline_ms: float | None = None,
+    ) -> list[str]:
+        return self._call(
+            "contains",
+            pattern=list(pattern) if not isinstance(pattern, str) else pattern,
+            partition=partition,
+            deadline_ms=deadline_ms,
+        )
+
+    def ingest(
+        self,
+        events: Sequence[tuple[str, str, float]],
+        partition: str = "",
+    ) -> dict[str, int]:
+        return self._call(
+            "ingest",
+            events=[list(event) for event in events],
+            partition=partition,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        return self._call("stats")

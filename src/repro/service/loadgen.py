@@ -1,0 +1,214 @@
+"""Closed-loop load generator for the query service.
+
+``run_loadgen`` starts N client threads against a running server; each
+thread loops synchronously (closed loop: at most one request in flight per
+client) picking a write with probability ``write_fraction`` and a read
+query from the pattern pool otherwise.  Latencies are recorded per
+operation class and summarized as p50/p95/p99 plus overall
+queries-per-second -- the workload and report behind ``repro loadgen`` and
+``benchmarks/bench_sharded_service.py``.
+
+Writes append fresh events to a bounded pool of generator-owned traces
+(deterministic per seed), so read traffic continuously races cache
+invalidation exactly the way a live monitoring deployment would.
+``overloaded`` rejections are counted, not retried -- a closed loop
+self-limits, so rejections only appear when admission control is genuinely
+saturated.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.service.client import ServiceClient, ServiceError
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregated result of one load-generation run."""
+
+    duration_s: float
+    clients: int
+    requests: int
+    errors: int
+    rejected: int
+    deadline_exceeded: int
+    qps: float
+    latency_ms: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "duration_s": self.duration_s,
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "qps": self.qps,
+            "latency_ms": self.latency_ms,
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 on empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class _Worker(threading.Thread):
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        patterns: Sequence[Any],
+        write_fraction: float,
+        write_batch: int,
+        deadline_ms: float | None,
+        stop: threading.Event,
+        seed: int,
+    ) -> None:
+        super().__init__(name=f"loadgen-{index}", daemon=True)
+        self._index = index
+        self._host = host
+        self._port = port
+        self._patterns = list(patterns)
+        self._write_fraction = write_fraction
+        self._write_batch = write_batch
+        self._deadline_ms = deadline_ms
+        self._halt = stop
+        self._rng = random.Random(seed * 1_000_003 + index)
+        self._write_clock: dict[str, float] = {}
+        self.latencies: dict[str, list[float]] = {"read": [], "write": []}
+        self.requests = 0
+        self.errors = 0
+        self.rejected = 0
+        self.deadline_exceeded = 0
+        self.failure: Exception | None = None
+
+    def _next_write(self) -> list[list[Any]]:
+        """A deterministic append batch over this worker's own traces."""
+        rng = self._rng
+        trace_id = f"lg-{self._index}-{rng.randrange(64)}"
+        last = self._write_clock.get(trace_id, 0.0)
+        events = []
+        for _ in range(self._write_batch):
+            last += rng.randint(1, 4)
+            events.append([trace_id, rng.choice("abcdefgh"), last])
+        self._write_clock[trace_id] = last
+        return events
+
+    def run(self) -> None:
+        try:
+            client = ServiceClient(self._host, self._port)
+        except OSError as exc:
+            self.failure = exc
+            return
+        try:
+            while not self._halt.is_set():
+                is_write = self._rng.random() < self._write_fraction
+                start = time.perf_counter()
+                try:
+                    if is_write:
+                        client.ingest(self._next_write())
+                    else:
+                        pattern = self._rng.choice(self._patterns)
+                        client.detect(pattern, deadline_ms=self._deadline_ms)
+                except ServiceError as exc:
+                    if exc.code == "overloaded":
+                        self.rejected += 1
+                    elif exc.code == "deadline":
+                        self.deadline_exceeded += 1
+                    elif exc.code == "shutdown":
+                        break
+                    else:
+                        self.errors += 1
+                    continue
+                finally:
+                    self.requests += 1
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                self.latencies["write" if is_write else "read"].append(elapsed_ms)
+        except OSError as exc:
+            self.failure = exc
+        finally:
+            client.close()
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    patterns: Sequence[Any],
+    clients: int = 4,
+    duration_s: float = 5.0,
+    write_fraction: float = 0.2,
+    write_batch: int = 8,
+    deadline_ms: float | None = None,
+    seed: int = 0,
+) -> LoadgenReport:
+    """Drive mixed read/write closed-loop traffic; returns the report.
+
+    Raises the first worker's transport failure (a dead server must fail
+    the benchmark loudly, not report zero QPS).
+    """
+    if not patterns:
+        raise ValueError("need at least one read pattern")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be within [0, 1]")
+    stop = threading.Event()
+    workers = [
+        _Worker(
+            i,
+            host,
+            port,
+            patterns,
+            write_fraction,
+            write_batch,
+            deadline_ms,
+            stop,
+            seed,
+        )
+        for i in range(clients)
+    ]
+    start = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    time.sleep(duration_s)
+    stop.set()
+    for worker in workers:
+        worker.join(timeout=30.0)
+    elapsed = time.perf_counter() - start
+    for worker in workers:
+        if worker.failure is not None:
+            raise worker.failure
+
+    latency_ms: dict[str, dict[str, float]] = {}
+    total_ok = 0
+    for kind in ("read", "write"):
+        values = sorted(
+            value for worker in workers for value in worker.latencies[kind]
+        )
+        total_ok += len(values)
+        if values:
+            latency_ms[kind] = {
+                "count": len(values),
+                "p50": percentile(values, 0.50),
+                "p95": percentile(values, 0.95),
+                "p99": percentile(values, 0.99),
+                "max": values[-1],
+            }
+    return LoadgenReport(
+        duration_s=elapsed,
+        clients=clients,
+        requests=sum(w.requests for w in workers),
+        errors=sum(w.errors for w in workers),
+        rejected=sum(w.rejected for w in workers),
+        deadline_exceeded=sum(w.deadline_exceeded for w in workers),
+        qps=total_ok / elapsed if elapsed > 0 else 0.0,
+        latency_ms=latency_ms,
+    )

@@ -1,0 +1,91 @@
+"""Length-prefixed JSON framing for the query service.
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are JSON objects:
+
+Request::
+
+    {"id": 7, "op": "detect", "pattern": ["a", "b"],   # or "SEQ(a, b)"
+     "partition": "", "within": null, "max_matches": null,
+     "deadline_ms": 250}
+    {"id": 8, "op": "ingest", "partition": "",
+     "events": [["trace-1", "login", 12.0], ...]}
+
+Response::
+
+    {"id": 7, "ok": true, "result": [{"trace_id": "t", "timestamps": [1, 2]}]}
+    {"id": 7, "ok": false, "code": "deadline", "error": "..."}
+
+Error codes: ``bad_request`` (malformed op/arguments), ``overloaded``
+(admission control rejected the request), ``deadline`` (the per-request
+deadline expired mid-execution), ``shutdown`` (the server is draining),
+``internal`` (unexpected server-side failure).
+
+Frames above :data:`MAX_FRAME_BYTES` are refused -- the peer is protecting
+itself against a corrupt or hostile length prefix, so oversized frames
+raise :class:`ProtocolError` and the connection is closed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+#: refuse frames above this size (corrupt length prefix / unbounded batch)
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: machine-readable error codes a response may carry
+ERROR_CODES = ("bad_request", "overloaded", "deadline", "shutdown", "internal")
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the framing contract; close the connection."""
+
+
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Serialize and send one frame (atomic via ``sendall``)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length, allow_eof=False)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame body must be a JSON object")
+    return payload
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, allow_eof: bool
+) -> bytes | None:
+    """Read exactly ``count`` bytes; EOF mid-frame is always an error."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,31 @@
+"""Sharded pair index: N independent LSM shards + scatter-gather queries.
+
+A :class:`~repro.shard.index.ShardedSequenceIndex` partitions traces across
+independent single-store engines by a stable hash of the trace id
+(:func:`~repro.shard.hashing.shard_for_trace`), fans ``update()`` out per
+shard, and answers queries scatter-gather: plan once from the merged Count
+cardinalities, fetch from every shard concurrently, merge candidate/match
+sets before returning.  Because a trace's pairs colocate on one shard,
+per-trace pruning stays shard-local and every merge is a disjoint union.
+"""
+
+from repro.shard.hashing import HASH_NAME, shard_for_trace
+from repro.shard.index import (
+    MANIFEST_NAME,
+    ShardedSequenceIndex,
+    is_sharded_store,
+    read_manifest,
+    shard_paths,
+    write_manifest,
+)
+
+__all__ = [
+    "HASH_NAME",
+    "MANIFEST_NAME",
+    "ShardedSequenceIndex",
+    "is_sharded_store",
+    "read_manifest",
+    "shard_for_trace",
+    "shard_paths",
+    "write_manifest",
+]

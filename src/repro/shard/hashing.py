@@ -1,0 +1,27 @@
+"""Stable, process-independent shard assignment.
+
+The shard of a trace is ``crc32(utf8(trace_id)) % num_shards``.  CRC-32 is
+fully specified (IEEE 802.3, the polynomial :func:`zlib.crc32` implements),
+so the assignment is identical across interpreter runs, machines and Python
+versions -- a sharded store written by one process can be reopened by any
+other.  Python's builtin ``hash()`` must never be used here: it is salted
+per process (``PYTHONHASHSEED``), so a restart would scatter every trace to
+a different shard and silently split traces across stores.
+
+The invariant is documented in DESIGN.md and pinned by a regression test
+that recomputes assignments in a fresh interpreter.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: name recorded in the shard manifest; a future scheme must use a new name
+HASH_NAME = "crc32"
+
+
+def shard_for_trace(trace_id: str, num_shards: int) -> int:
+    """The shard owning ``trace_id`` (deterministic across processes)."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    return zlib.crc32(trace_id.encode("utf-8")) % num_shards

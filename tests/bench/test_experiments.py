@@ -129,4 +129,5 @@ class TestRegistryCompleteness:
             "ablation_planner",
             "pattern_language",
             "postings_compression",
+            "sharded_service",
         }

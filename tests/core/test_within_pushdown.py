@@ -1,0 +1,117 @@
+"""WITHIN pushdown: pair-level span pruning must be result-invariant.
+
+The planned chain join may drop a pair posting whose own span exceeds the
+window, because chain timestamps are monotonic: in any surviving chain,
+every adjacent completion spans at most the whole match, so a pair wider
+than the window can never appear in a match the final end-to-end filter
+would keep.  These tests hold the pushdown byte-identical to the naive
+post-filter on random logs, and pin the counterexample showing why the
+same pruning must NOT be applied to composite verification (the greedy
+pair index under-approximates the occurrence pairs the verifier can use).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import SequenceIndex
+from repro.core.model import Event, EventLog, Trace
+from repro.core.policies import Policy
+from repro.difftest import random_log
+
+
+def _build(case_log, policy=Policy.STNM):
+    index = SequenceIndex(policy=policy)
+    index.update(
+        EventLog(
+            Trace(tid, (Event(tid, act, ts) for act, ts in events))
+            for tid, events in case_log.items()
+        )
+    )
+    return index
+
+
+def _spans(index, pattern, **kwargs):
+    return [
+        (m.trace_id, m.timestamps) for m in index.detect(pattern, **kwargs)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("within", [0.0, 1.0, 3.0, 7.0, 100.0])
+def test_pushdown_equals_post_filter(seed, within):
+    """detect(within=t) == [m for m in detect() if m.duration <= t]."""
+    rng = random.Random(seed)
+    log = random_log(rng)
+    patterns = [["A", "B"], ["A", "B", "C"], ["B", "B"], ["A", "C", "A", "B"]]
+    with _build(log) as index:
+        for pattern in patterns:
+            unfiltered = index.detect(pattern)
+            expected = [
+                (m.trace_id, m.timestamps)
+                for m in unfiltered
+                if m.duration <= within
+            ]
+            assert _spans(index, pattern, within=within) == expected, pattern
+            assert index.count(pattern, within=within) == len(expected)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_pushdown_equals_post_filter_stam(seed):
+    """STAM bypasses the chain join; within stays a pure post-filter."""
+    rng = random.Random(100 + seed)
+    log = random_log(rng)
+    with _build(log) as index:
+        for pattern in (["A", "B"], ["A", "B", "C"]):
+            unfiltered = index.detect(pattern, policy=Policy.STAM)
+            expected = [
+                (m.trace_id, m.timestamps)
+                for m in unfiltered
+                if m.duration <= 5.0
+            ]
+            got = _spans(index, pattern, policy=Policy.STAM, within=5.0)
+            assert got == expected, pattern
+
+
+def test_composite_window_is_not_pushed_down():
+    """The counterexample: pushdown would lose a valid composite match.
+
+    Trace ``A@0, A@99, B@100`` under SEQ(A, B) WITHIN 1: the greedy STNM
+    pair index stores only the pair ``(0, 100)`` (span 99 > 1), but the
+    composite verifier re-walks the occurrence lists and legitimately
+    finds ``(99, 100)``.  Pruning the only posting for the (A, B) pair
+    would declare the trace empty before verification ever ran.
+    """
+    log = {"t": [("A", 0.0), ("A", 99.0), ("B", 100.0)]}
+    with _build(log) as index:
+        matches = _spans(index, "SEQ(A, B) WITHIN 1")
+        assert matches == [("t", (99.0, 100.0))]
+        # The plain path agrees there is no *chain-join* completion inside
+        # the window: the greedy pairing is (0, 100), span 100.
+        assert _spans(index, ["A", "B"], within=1.0) == []
+        assert _spans(index, ["A", "B"]) == [("t", (0.0, 100.0))]
+
+
+def test_pushdown_composes_with_max_matches():
+    log = {
+        "t1": [("A", 0.0), ("B", 1.0), ("A", 2.0), ("B", 3.0)],
+        "t2": [("A", 0.0), ("B", 50.0)],
+    }
+    with _build(log) as index:
+        got = _spans(index, ["A", "B"], within=5.0, max_matches=1)
+        all_in_window = [
+            (m.trace_id, m.timestamps)
+            for m in index.detect(["A", "B"])
+            if m.duration <= 5.0
+        ]
+        assert got == all_in_window[:1]
+
+
+def test_negative_within_is_rejected():
+    with _build({"t": [("A", 0.0), ("B", 1.0)]}) as index:
+        with pytest.raises(ValueError):
+            index.detect(["A", "B"], within=-1.0)
+        with pytest.raises(ValueError):
+            index.count(["A", "B"], within=-0.5)

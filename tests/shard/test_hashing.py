@@ -1,0 +1,109 @@
+"""The shard hash must be stable across processes and interpreter runs.
+
+A salted ``hash()`` would route a trace to a different shard every process
+restart, silently splitting one trace's pairs across shards and breaking
+the disjointness invariant every merge step relies on.  These tests pin
+the function to CRC-32 over UTF-8 bytes with known values, and prove
+process independence by recomputing the placements in subprocesses started
+with *different* ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.shard import HASH_NAME, shard_for_trace
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_IDS = [
+    "",
+    "t1",
+    "trace-1",
+    "trace_9999",
+    "Ümlaut-träce",
+    "трасса",
+    "a" * 300,
+    "case-2021-02-17/child[3]",
+]
+
+
+def test_hash_name_is_crc32():
+    assert HASH_NAME == "crc32"
+
+
+def test_matches_crc32_of_utf8_bytes():
+    for trace_id in _IDS:
+        for shards in (1, 2, 3, 4, 7, 16):
+            expected = zlib.crc32(trace_id.encode("utf-8")) % shards
+            assert shard_for_trace(trace_id, shards) == expected
+
+
+def test_known_values_pinned():
+    # Frozen constants: a change here is a resharding event, not a refactor.
+    assert shard_for_trace("t1", 4) == zlib.crc32(b"t1") % 4
+    assert zlib.crc32(b"t1") == 0x5B54AE37
+    assert shard_for_trace("trace-1", 4) == 2
+    assert shard_for_trace("trace-2", 4) == 0
+
+
+def test_single_shard_takes_everything():
+    assert all(shard_for_trace(tid, 1) == 0 for tid in _IDS)
+
+
+def test_distribution_covers_all_shards():
+    ids = [f"trace-{i}" for i in range(512)]
+    placements = {shard_for_trace(tid, 4) for tid in ids}
+    assert placements == {0, 1, 2, 3}
+
+
+@pytest.mark.parametrize("hashseed", ["1", "2", "random"])
+def test_stable_across_interpreter_runs(hashseed):
+    """Fresh interpreters with different string-hash salts agree exactly."""
+    script = (
+        "import json, sys\n"
+        "from repro.shard import shard_for_trace\n"
+        "ids = json.loads(sys.stdin.read())\n"
+        "print(json.dumps([shard_for_trace(t, 5) for t in ids]))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps(_IDS),
+        capture_output=True,
+        text=True,
+        check=True,
+        env={
+            "PYTHONPATH": str(_REPO_ROOT / "src"),
+            "PYTHONHASHSEED": hashseed,
+        },
+        cwd=str(_REPO_ROOT),
+    )
+    remote = json.loads(out.stdout)
+    assert remote == [shard_for_trace(tid, 5) for tid in _IDS]
+
+
+def test_never_uses_builtin_hash():
+    """``hash()`` placements diverge across salted runs; ours must not.
+
+    If someone swaps crc32 for ``hash()``, the subprocess test above fails;
+    this companion documents *why* by showing builtin hashes genuinely
+    differ between two salted interpreters.
+    """
+    script = "print(hash('trace-1'))"
+    runs = {
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONHASHSEED": seed},
+        ).stdout.strip()
+        for seed in ("1", "2")
+    }
+    assert len(runs) == 2

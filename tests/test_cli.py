@@ -256,3 +256,133 @@ class TestStoreStats:
     def test_faults_accepts_compression(self, capsys):
         assert main(["faults", "--seed", "3", "--compression", "zlib"]) == 0
         assert "seed 3: ok" in capsys.readouterr().out
+
+
+class TestSharded:
+    @pytest.fixture
+    def sharded_store(self, tmp_path, log_file):
+        store = str(tmp_path / "sx")
+        assert main(
+            ["index", "--log", log_file, "--store", store, "--shards", "2"]
+        ) == 0
+        return store
+
+    def test_index_writes_manifest(self, sharded_store):
+        from repro.shard import is_sharded_store, read_manifest
+
+        assert is_sharded_store(sharded_store)
+        assert read_manifest(sharded_store)["num_shards"] == 2
+
+    def test_detect_matches_single_store(
+        self, sharded_store, store_dir, capsys
+    ):
+        assert main(["detect", "A,B", "--store", sharded_store]) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(["detect", "A,B", "--store", store_dir]) == 0
+        assert capsys.readouterr().out == sharded_out
+        assert "1 completions" in sharded_out
+
+    def test_composite_detect(self, sharded_store, capsys):
+        assert main(
+            ["detect", "--store", sharded_store, "--pattern", "SEQ(A, (B|C))"]
+        ) == 0
+        assert "completions of SEQ" in capsys.readouterr().out
+
+    def test_incremental_index_reuses_manifest(
+        self, tmp_path, log_file, sharded_store, capsys
+    ):
+        # No --shards on reopen: the manifest supplies the count.
+        from repro.core.model import EventLog, Trace
+        from repro.logs.csv_log import write_csv_log
+
+        more = str(tmp_path / "more.csv")
+        write_csv_log(
+            EventLog([Trace.from_pairs("t9", [("A", 1.0), ("B", 2.0)])]), more
+        )
+        assert main(["index", "--log", more, "--store", sharded_store]) == 0
+        assert "1 traces (1 new)" in capsys.readouterr().out
+
+    def test_stats_aggregates_shards(self, sharded_store, capsys):
+        assert main(["stats", "--store", sharded_store]) == 0
+        out = capsys.readouterr().out
+        assert "(2 shards)" in out
+        assert "shard 00:" in out
+        assert "shard 01:" in out
+        assert "totals:" in out
+        assert "compression ratio:" in out
+
+    def test_pattern_stats_on_sharded_store(self, sharded_store, capsys):
+        assert main(["stats", "A,B", "--store", sharded_store]) == 0
+        assert "A -> B" in capsys.readouterr().out
+
+    def test_continue_is_refused(self, sharded_store):
+        with pytest.raises(SystemExit, match="single-store"):
+            main(["continue", "A,B", "--store", sharded_store])
+
+    def test_metrics_exposes_shard_gauges(self, sharded_store, capsys):
+        assert main(
+            ["metrics", "--store", sharded_store, "--pattern", "A,B"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_shard_count" in out
+        assert "repro_shard_fanout_total" in out
+
+
+class TestServeAndLoadgen:
+    def test_serve_then_loadgen(self, tmp_path, log_file, capsys):
+        import json as json_mod
+        import re
+        import threading
+        import time
+
+        from repro.service import ServiceClient
+
+        store = str(tmp_path / "sx")
+        assert main(
+            ["index", "--log", log_file, "--store", store, "--shards", "2"]
+        ) == 0
+        capsys.readouterr()
+
+        results = {}
+
+        def serve():
+            results["code"] = main(
+                ["serve", "--store", store, "--port", "0", "--duration", "5"]
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        # The ephemeral port is printed, not predictable; poll the output.
+        port = None
+        for _ in range(200):
+            found = re.search(
+                r"on 127\.0\.0\.1:(\d+)", capsys.readouterr().out
+            )
+            if found:
+                port = int(found.group(1))
+                break
+            time.sleep(0.02)
+        assert port is not None, "server never announced its port"
+        with ServiceClient("127.0.0.1", port) as client:
+            assert client.ping() == "pong"
+        assert main(
+            [
+                "loadgen",
+                "--port",
+                str(port),
+                "--pattern",
+                "A,B",
+                "--pattern",
+                "SEQ(A, (B|C))",
+                "--clients",
+                "2",
+                "--duration",
+                "1.0",
+            ]
+        ) == 0
+        report = json_mod.loads(capsys.readouterr().out)
+        assert report["errors"] == 0
+        assert report["requests"] > 0
+        thread.join(timeout=20.0)
+        assert not thread.is_alive()
+        assert results["code"] == 0
