@@ -1,0 +1,139 @@
+"""Docs lint: dead links and CLI commands that drifted from the parser.
+
+Two classes of documentation rot this catches mechanically:
+
+* **dead relative links** -- every ``[text](target)`` markdown link whose
+  target is a repo path must resolve from the linking file's directory;
+* **stale CLI examples** -- every ``repro <subcommand>`` invocation inside
+  a fenced code block must name a subcommand the real
+  :func:`repro.cli.build_parser` knows, so renaming or removing a
+  subcommand without sweeping the docs fails CI.
+
+Runs standalone (``python -m repro.bench.docscheck``, exit 1 on findings)
+and inside tier-1 via ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable
+
+#: the documentation surface checked, relative to the repo root
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/INGEST.md",
+    "docs/METRICS.md",
+    "docs/OPERATIONS.md",
+)
+
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)")
+#: a CLI invocation inside a fenced block: ``repro <sub>`` either via
+#: ``python -m repro <sub>`` or as a bare ``repro <sub>`` command (the
+#: installed console script), with an optional ``$ `` prompt and env-var
+#: assignments in front.  ``python -m repro.bench.runner``-style module
+#: invocations carry a dot and are not subcommand calls.
+_CLI_CALL = re.compile(
+    r"""^\s*(?:\$\s+)?(?:[A-Z_][A-Z0-9_]*=\S+\s+)*
+        (?:python(?:3)?\s+-m\s+repro|repro)\s+(?P<sub>[a-z][a-z0-9_-]*)\b""",
+    re.VERBOSE,
+)
+
+
+def repo_root() -> str:
+    """The repository root (three levels up from this file)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(os.path.join(here, "..", "..", ".."))
+
+
+def known_subcommands() -> set[str]:
+    """Subcommand names straight from the live argument parser."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return set(action.choices)
+    raise RuntimeError("repro parser has no subcommands")  # pragma: no cover
+
+
+def _fenced_lines(text: str) -> Iterable[tuple[int, str]]:
+    """Yield ``(line_number, line)`` for lines inside fenced code blocks."""
+    inside = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            inside = not inside
+            continue
+        if inside:
+            yield number, line
+
+
+def check_links(root: str, doc: str, text: str) -> list[str]:
+    """Dead relative markdown links in one document."""
+    findings = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(root, os.path.dirname(doc), path)
+        )
+        if not os.path.exists(resolved):
+            findings.append(f"{doc}: dead link -> {target}")
+    return findings
+
+
+def check_cli_commands(
+    doc: str, text: str, subcommands: set[str]
+) -> list[str]:
+    """Fenced ``repro <sub>`` invocations that name unknown subcommands."""
+    findings = []
+    for number, line in _fenced_lines(text):
+        match = _CLI_CALL.match(line)
+        if match and match.group("sub") not in subcommands:
+            findings.append(
+                f"{doc}:{number}: unknown repro subcommand "
+                f"{match.group('sub')!r} in: {line.strip()}"
+            )
+    return findings
+
+
+def run_docscheck(root: str | None = None) -> list[str]:
+    """All findings across the documented surface (empty means healthy)."""
+    root = root or repo_root()
+    subcommands = known_subcommands()
+    findings: list[str] = []
+    for doc in DOC_FILES:
+        path = os.path.join(root, doc)
+        if not os.path.isfile(path):
+            findings.append(f"{doc}: file is missing")
+            continue
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        findings.extend(check_links(root, doc, text))
+        findings.extend(check_cli_commands(doc, text, subcommands))
+    return findings
+
+
+def main() -> int:
+    findings = run_docscheck()
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"docscheck: {len(findings)} finding(s)")
+        return 1
+    print(f"docscheck: {len(DOC_FILES)} documents clean")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -13,7 +13,11 @@ Examples::
     python -m repro metrics --store ./ix
     python -m repro serve --store ./sx --port 7700
     python -m repro loadgen --port 7700 --pattern a,b --clients 4 --duration 5
+    python -m repro feed --log log.csv --feed events.jsonl --chunk 64
+    python -m repro ingest --feed events.jsonl --store ./ix --follow
+    python -m repro ingest --feed events.jsonl --port 7700 --metrics
     python -m repro faults --seed 1234
+    python -m repro faults --ingest --seeds 0:20
     python -m repro diffcheck --seeds 0:500
 
 Stores created with ``--shards N`` carry a ``SHARDS.json`` manifest; every
@@ -381,13 +385,104 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_feed(args: argparse.Namespace) -> int:
+    """Append a batch log into an append-only event feed.
+
+    Events are interleaved across traces in global timestamp order (the
+    shape a live producer emits) and stamped with the append instant, which
+    is what the ingester's freshness metric measures against.  ``--chunk``
+    plus ``--interval`` turn a static log into a paced stream for demos.
+    """
+    import time
+
+    from repro.ingest import FeedWriter
+
+    log = _read_log(args.log)
+    # Stable sort: per-trace order (what the index requires) survives the
+    # global interleave.
+    events = sorted(log.events(), key=lambda event: event.timestamp)
+    chunk = args.chunk if args.chunk else max(len(events), 1)
+    written = 0
+    with FeedWriter(args.feed) as writer:
+        for start in range(0, len(events), chunk):
+            written += writer.append(
+                events[start : start + chunk], stamp=not args.no_stamp
+            )
+            if args.interval and start + chunk < len(events):
+                time.sleep(args.interval)
+    print(f"appended {written} events to {args.feed}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Tail an event feed into a live index, micro-batch by micro-batch.
+
+    Local mode (``--store``) applies batches to the store in-process while
+    it stays fully queryable; remote mode (``--port``) ships them to a
+    running ``repro serve`` through the ingest op and its backpressure
+    seam.  Progress survives kills: the durable checkpoint replays from
+    the last applied batch and the dedup filter makes the replay a no-op.
+    """
+    from repro.ingest import EngineSink, ServiceSink
+
+    if (args.store is None) == (args.port is None):
+        raise SystemExit(
+            "ingest needs exactly one of --store (local) or --port (remote)"
+        )
+    if args.store is not None:
+        with _open_index(args) as index:
+            return _run_ingester(args, EngineSink(index, partition=args.partition))
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        return _run_ingester(args, ServiceSink(client, partition=args.partition))
+
+
+def _run_ingester(args: argparse.Namespace, sink: object) -> int:
+    from repro.ingest import TailIngester
+
+    checkpoint = args.checkpoint or args.feed + ".checkpoint"
+    ingester = TailIngester(
+        args.feed,
+        sink,
+        checkpoint,
+        batch_events=args.batch_events,
+        poll_interval_s=args.poll_ms / 1000.0,
+        name=args.feed,
+    )
+    try:
+        if args.follow or args.duration is not None:
+            try:
+                stats = ingester.run(args.duration)
+            except KeyboardInterrupt:
+                print("interrupt: checkpointing")
+                stats = ingester.stop()
+        else:
+            stats = ingester.drain()
+        print(
+            f"applied {stats.events_applied} events in {stats.batches} "
+            f"batches ({stats.events_deduped} deduped replays), "
+            f"checkpoint at byte {stats.offset}, lag {stats.lag_bytes} bytes"
+        )
+        print(ingester.freshness.describe())
+        if args.metrics:
+            from repro.obs.registry import REGISTRY
+
+            sys.stdout.write(REGISTRY.render())
+    finally:
+        ingester.close()
+    return 0
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Replay crash-recovery fault-injection seeds.
 
     ``--seed N`` replays the single seed a failing test printed;
-    ``--seeds A:B`` sweeps a half-open range.  Exit status 0 means every
-    seed upheld the durability contract; a violation prints the failure
-    and returns 1.
+    ``--seeds A:B`` sweeps a half-open range.  ``--ingest`` switches from
+    the store crash harness to the ingest crash-replay harness (kill the
+    tailing ingester mid-batch, replay from the checkpoint, require
+    convergence with a clean batch build).  Exit status 0 means every seed
+    upheld its contract; a violation prints the failure and returns 1.
     """
     from repro.faults import CrashRecoveryFailure, run_seed
 
@@ -403,6 +498,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         seeds = [args.seed]
     import os
 
+    if args.ingest:
+        return _ingest_faults(args, seeds)
     failures = 0
     for seed in seeds:
         workdir = os.path.join(args.path, f"seed-{seed}") if args.path else None
@@ -422,6 +519,34 @@ def cmd_faults(args: argparse.Namespace) -> int:
             print(
                 f"seed {seed}: ok ({summary['fault']}, {outcome}, "
                 f"acked={summary['acked']}, checked={summary['checked']})"
+            )
+    if failures:
+        print(f"{failures} of {len(seeds)} seeds FAILED")
+        return 1
+    return 0
+
+
+def _ingest_faults(args: argparse.Namespace, seeds) -> int:
+    """Sweep the ingest crash-replay harness over ``seeds``."""
+    import os
+
+    from repro.faults import IngestReplayFailure, run_ingest_replay
+
+    failures = 0
+    for seed in seeds:
+        workdir = (
+            os.path.join(args.path, f"ingest-seed-{seed}") if args.path else None
+        )
+        try:
+            summary = run_ingest_replay(seed, path=workdir)
+        except IngestReplayFailure as exc:
+            failures += 1
+            print(f"FAIL {exc}")
+        else:
+            print(
+                f"seed {seed}: ok (killed {summary['phase']} batch "
+                f"{summary['crash_batch']}, replayed {summary['replayed']} "
+                f"events, {summary['deduped']} deduped, converged)"
             )
     if failures:
         print(f"{failures} of {len(seeds)} seeds FAILED")
@@ -513,8 +638,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--out", required=True, help=".csv or .xes output path")
     gen.set_defaults(fn=cmd_generate)
 
-    def add_store_args(p, with_build=False):
-        p.add_argument("--store", required=True, help="index store directory")
+    def add_store_args(p, with_build=False, required=True):
+        p.add_argument("--store", required=required, help="index store directory")
         p.add_argument("--policy", choices=sorted(_POLICIES), default="stnm")
         p.add_argument(
             "--compression",
@@ -677,8 +802,88 @@ def build_parser() -> argparse.ArgumentParser:
     lod.add_argument("--seed", type=int, default=0)
     lod.set_defaults(fn=cmd_loadgen)
 
+    fed = sub.add_parser(
+        "feed", help="append a batch log into an append-only event feed"
+    )
+    fed.add_argument("--log", required=True, help=".csv or .xes log file")
+    fed.add_argument(
+        "--feed", required=True, help="feed file to append to (JSONL)"
+    )
+    fed.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="events per append call (default: one append for the whole log)",
+    )
+    fed.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        help="seconds to sleep between chunks (paces the stream for demos)",
+    )
+    fed.add_argument(
+        "--no-stamp",
+        action="store_true",
+        help="omit append stamps (disables freshness accounting downstream)",
+    )
+    fed.set_defaults(fn=cmd_feed)
+
+    ing = sub.add_parser(
+        "ingest",
+        help="tail an event feed into a live index (local store or server)",
+    )
+    ing.add_argument("--feed", required=True, help="feed file to tail (JSONL)")
+    ing.add_argument(
+        "--checkpoint",
+        default=None,
+        help="durable offset checkpoint (default: <feed>.checkpoint)",
+    )
+    add_store_args(ing, required=False)
+    ing.add_argument("--partition", default="", help="index partition name")
+    ing.add_argument("--host", default="127.0.0.1")
+    ing.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="ship batches to a running 'repro serve' instead of --store",
+    )
+    ing.add_argument(
+        "--batch-events",
+        type=int,
+        default=256,
+        help="micro-batch size (one checkpoint write per batch)",
+    )
+    ing.add_argument(
+        "--poll-ms",
+        type=float,
+        default=50.0,
+        help="idle poll interval while following",
+    )
+    ing.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing for new appends (Ctrl-C drains and checkpoints)",
+    )
+    ing.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="follow for this many seconds, then drain and exit",
+    )
+    ing.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics exposition (freshness histogram, lag) at exit",
+    )
+    ing.set_defaults(fn=cmd_ingest)
+
     flt = sub.add_parser(
         "faults", help="replay crash-recovery fault-injection seeds"
+    )
+    flt.add_argument(
+        "--ingest",
+        action="store_true",
+        help="run the ingest crash-replay harness instead of the store one",
     )
     flt.add_argument("--seed", type=int, default=None, help="one seed to replay")
     flt.add_argument(

@@ -545,6 +545,17 @@ class SequenceIndex:
         """The indexed ``(activity, timestamp)`` sequence of one trace."""
         return self.tables.get_sequence(trace_id)
 
+    def indexed_tail(self, trace_id: str) -> float | None:
+        """Timestamp of the trace's last indexed event (``None`` if unknown).
+
+        The streaming ingester's replay filter compares feed events against
+        this tail to make crash replay idempotent (docs/INGEST.md); a trace
+        pruned via :meth:`prune_trace` reads as unknown again, matching the
+        builder's refusal to append to pruned traces.
+        """
+        seq = self.tables.get_sequence(trace_id)
+        return seq[-1][1] if seq else None
+
     def top_pairs(self, k: int = 10) -> list[tuple[tuple[str, str], int]]:
         """The ``k`` most frequent event pairs, from the Count table.
 

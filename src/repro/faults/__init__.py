@@ -12,10 +12,15 @@ The subsystem has three layers:
   seeded workload against an :class:`~repro.kvstore.lsm.LSMStore` under a
   fault schedule, kills the store at the scheduled point, reopens it and
   checks recovery against an in-memory oracle of acknowledged operations.
+* :mod:`repro.faults.ingest` -- :func:`run_ingest_replay`: kills the
+  streaming ingester mid-batch (before the apply, or between apply and
+  checkpoint), replays from the durable checkpoint, and requires the
+  recovered index to be logically identical to a clean batch build.
 
 Replay any failing seed from the shell::
 
     python -m repro faults --seed 1234
+    python -m repro faults --ingest --seed 1234
 """
 
 from repro.faults.io import REAL_IO, FaultyIO, RealIO
@@ -56,16 +61,29 @@ __all__ = [
     "CrashRecoveryHarness",
     "CrashRecoveryFailure",
     "run_seed",
+    # lazily re-exported from repro.faults.ingest
+    "IngestReplayFailure",
+    "generate_feed_events",
+    "run_ingest_replay",
 ]
 
 _HARNESS_EXPORTS = {"CrashRecoveryHarness", "CrashRecoveryFailure", "run_seed"}
+_INGEST_EXPORTS = {
+    "IngestReplayFailure",
+    "generate_feed_events",
+    "run_ingest_replay",
+}
 
 
 def __getattr__(name: str):
-    # The harness imports repro.kvstore, which itself imports this package
-    # for REAL_IO -- resolving the harness lazily keeps the import acyclic.
+    # The harnesses import repro.kvstore, which itself imports this package
+    # for REAL_IO -- resolving them lazily keeps the import acyclic.
     if name in _HARNESS_EXPORTS:
         from repro.faults import harness
 
         return getattr(harness, name)
+    if name in _INGEST_EXPORTS:
+        from repro.faults import ingest
+
+        return getattr(ingest, name)
     raise AttributeError(name)

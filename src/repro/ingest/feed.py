@@ -1,0 +1,191 @@
+"""The append-only event feed behind the streaming ingester.
+
+A feed is a single JSONL file: one event per line, appended and fsynced by
+:class:`FeedWriter`, consumed by byte offset with :func:`read_feed`.  Each
+line is a small JSON object::
+
+    {"trace": "session-1", "activity": "search", "ts": 17.0, "at": 1754500000.12}
+
+``trace``/``activity``/``ts`` are the event itself (the same triple the
+batch CSV form carries); ``at`` is the wall-clock *append* instant stamped
+by the writer, which is what the end-to-end freshness metric measures
+against (event appended -> visible in ``detect()``).  Events read from a
+source that carries no append stamp simply have ``appended_at = None`` and
+are excluded from freshness accounting.
+
+Tail semantics: a reader only ever consumes *complete* lines.  A torn
+trailing line -- a producer killed mid-``write(2)``, or a reader racing an
+append -- is left in place and re-read on the next poll once its newline
+lands, so the (offset, line) pairs every reader observes are identical
+regardless of poll timing.  That invariant is what makes the byte-offset
+checkpoint of :mod:`repro.ingest.checkpoint` a complete description of
+ingest progress.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import IO, Iterable
+
+from repro.core.model import Event
+
+__all__ = ["FeedEvent", "FeedFormatError", "FeedWriter", "feed_size", "read_feed"]
+
+
+class FeedFormatError(ValueError):
+    """A complete feed line could not be parsed as an event."""
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One event read from a feed, with its optional append stamp."""
+
+    trace_id: str
+    activity: str
+    timestamp: float
+    appended_at: float | None = None
+
+    def to_event(self) -> Event:
+        return Event(self.trace_id, self.activity, self.timestamp)
+
+
+class FeedWriter:
+    """Appends events to a feed file, stamping the append instant.
+
+    Every :meth:`append` call flushes and fsyncs, so an acknowledged append
+    survives a producer crash; the trailing line of an *unacknowledged*
+    append may be torn, which readers never consume.  Opening a feed whose
+    previous producer died mid-write truncates that torn tail back to the
+    last complete line, so new appends never concatenate onto torn bytes.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._repair_torn_tail(path)
+        self._file: IO[bytes] = open(path, "ab")
+
+    @staticmethod
+    def _repair_torn_tail(path: str) -> None:
+        try:
+            fh = open(path, "r+b")
+        except FileNotFoundError:
+            return
+        with fh:
+            size = fh.seek(0, os.SEEK_END)
+            if size == 0:
+                return
+            fh.seek(size - 1)
+            if fh.read(1) == b"\n":
+                return
+            # Walk back to the last newline (bounded scan from the end).
+            keep = 0
+            step = 4096
+            position = size
+            while position > 0:
+                chunk_start = max(0, position - step)
+                fh.seek(chunk_start)
+                chunk = fh.read(position - chunk_start)
+                newline = chunk.rfind(b"\n")
+                if newline != -1:
+                    keep = chunk_start + newline + 1
+                    break
+                position = chunk_start
+            fh.truncate(keep)
+
+    def append(self, events: Iterable[Event], stamp: bool = True) -> int:
+        """Append events (timestamps required); returns the count written."""
+        now = time.time()
+        count = 0
+        lines: list[bytes] = []
+        for event in events:
+            if event.timestamp is None:
+                raise ValueError(f"feed events need timestamps: {event!r}")
+            record: dict[str, object] = {
+                "trace": event.trace_id,
+                "activity": event.activity,
+                "ts": float(event.timestamp),
+            }
+            if stamp:
+                record["at"] = now
+            lines.append(json.dumps(record, separators=(",", ":")).encode("utf-8"))
+            count += 1
+        if lines:
+            self._file.write(b"\n".join(lines) + b"\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        return count
+
+    def tell(self) -> int:
+        """Current end-of-feed byte offset."""
+        return self._file.tell()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FeedWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def feed_size(path: str) -> int:
+    """Feed length in bytes (0 for a feed that does not exist yet)."""
+    try:
+        return os.path.getsize(path)
+    except FileNotFoundError:
+        return 0
+
+
+def _parse_line(raw: bytes, offset: int) -> FeedEvent:
+    try:
+        record = json.loads(raw)
+        return FeedEvent(
+            trace_id=str(record["trace"]),
+            activity=str(record["activity"]),
+            timestamp=float(record["ts"]),
+            appended_at=(
+                float(record["at"]) if record.get("at") is not None else None
+            ),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        raise FeedFormatError(
+            f"bad feed line at byte {offset}: {raw[:120]!r} ({exc})"
+        ) from exc
+
+
+def read_feed(
+    path: str, offset: int = 0, max_events: int | None = None
+) -> tuple[list[FeedEvent], int]:
+    """Read up to ``max_events`` complete events starting at ``offset``.
+
+    Returns ``(events, new_offset)`` where ``new_offset`` points just past
+    the last consumed line -- the value to checkpoint.  A torn trailing
+    line is not consumed (its bytes stay beyond ``new_offset``), and a feed
+    that does not exist yet reads as empty: tailing a feed before its
+    producer starts is not an error.
+    """
+    if offset < 0:
+        raise ValueError("feed offset must be non-negative")
+    events: list[FeedEvent] = []
+    try:
+        fh = open(path, "rb")
+    except FileNotFoundError:
+        return events, offset
+    with fh:
+        fh.seek(offset)
+        position = offset
+        while max_events is None or len(events) < max_events:
+            raw = fh.readline()
+            if not raw.endswith(b"\n"):
+                break  # torn or absent tail: wait for the newline
+            line = raw.strip()
+            if line:
+                events.append(_parse_line(line, position))
+            position += len(raw)
+    return events, position

@@ -1,0 +1,107 @@
+"""End-to-end freshness accounting: event appended -> visible in ``detect()``.
+
+The ingester observes, for every applied event that carries an append
+stamp, the latency between the producer writing it to the feed and the
+moment the index batch holding it became queryable (``update()`` returned,
+or the service acknowledged the ingest RPC).  Observations land in a
+fixed-bucket cumulative histogram (Prometheus-style ``le`` buckets, one
+counter per bucket so the exposition stays in the catalogued
+counter/gauge vocabulary) plus a bounded ring of recent raw samples from
+which the p50/p95/p99 gauges are computed.
+
+The bucket bounds are chosen for the freshness SLO documented in
+docs/INGEST.md: "p99 of appended events visible within 1 s under nominal
+load" reads directly off the ``le_1s`` bucket (or the p99 gauge).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+__all__ = ["FreshnessTracker", "BUCKET_BOUNDS"]
+
+#: cumulative histogram bounds in seconds and their exposition suffixes
+BUCKET_BOUNDS: tuple[tuple[float, str], ...] = (
+    (0.010, "le_10ms"),
+    (0.050, "le_50ms"),
+    (0.100, "le_100ms"),
+    (0.500, "le_500ms"),
+    (1.000, "le_1s"),
+    (5.000, "le_5s"),
+)
+
+_QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+class FreshnessTracker:
+    """Thread-safe freshness histogram + recent-sample quantiles."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * len(BUCKET_BOUNDS)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._recent: deque[float] = deque(maxlen=window)
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        with self._lock:
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+            self._recent.append(seconds)
+            for i, (bound, _suffix) in enumerate(BUCKET_BOUNDS):
+                if seconds <= bound:
+                    self._buckets[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Quantile over the recent-sample window (0.0 with no samples)."""
+        with self._lock:
+            if not self._recent:
+                return 0.0
+            ordered = sorted(self._recent)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def samples(self) -> dict[str, float]:
+        """Metric samples under the ``repro_ingest_freshness_*`` names."""
+        with self._lock:
+            buckets = list(self._buckets)
+            count = self._count
+            maximum = self._max
+        out: dict[str, float] = {
+            f"repro_ingest_freshness_{suffix}_total": buckets[i]
+            for i, (_bound, suffix) in enumerate(BUCKET_BOUNDS)
+        }
+        out["repro_ingest_freshness_events_total"] = count
+        out["repro_ingest_freshness_max_seconds"] = maximum
+        for q, name in _QUANTILES:
+            out[f"repro_ingest_freshness_{name}_seconds"] = self.quantile(q)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable histogram for the CLI's end-of-run report."""
+        with self._lock:
+            buckets = list(self._buckets)
+            count = self._count
+            total = self._sum
+            maximum = self._max
+        if count == 0:
+            return "freshness: no stamped events observed"
+        lines = [
+            f"freshness over {count} events: mean={total / count:.4f}s "
+            f"p50={self.quantile(0.5):.4f}s p95={self.quantile(0.95):.4f}s "
+            f"p99={self.quantile(0.99):.4f}s max={maximum:.4f}s"
+        ]
+        for i, (bound, _suffix) in enumerate(BUCKET_BOUNDS):
+            lines.append(f"  <= {bound:g}s: {buckets[i]}")
+        lines.append(f"  +Inf: {count}")
+        return "\n".join(lines)

@@ -163,6 +163,70 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "gauge",
         "Requests currently executing inside the engine.",
     ),
+    # -- streaming ingest ---------------------------------------------------
+    "repro_ingest_batches_total": (
+        "counter",
+        "Micro-batches applied and checkpointed by the tailing ingester.",
+    ),
+    "repro_ingest_events_total": (
+        "counter",
+        "Feed events read by the tailing ingester (applied + deduped).",
+    ),
+    "repro_ingest_deduped_total": (
+        "counter",
+        "Replayed events dropped by the indexed-tail dedup filter.",
+    ),
+    "repro_ingest_lag_bytes": (
+        "gauge",
+        "Feed bytes appended but not yet applied (checkpoint lag).",
+    ),
+    # -- ingest freshness (append -> visible-in-detect latency) -------------
+    # Cumulative histogram buckets: each counts events whose freshness was
+    # at or under the bound; *_events_total is the +Inf bucket.
+    "repro_ingest_freshness_le_10ms_total": (
+        "counter",
+        "Events visible within 10 ms of feed append.",
+    ),
+    "repro_ingest_freshness_le_50ms_total": (
+        "counter",
+        "Events visible within 50 ms of feed append.",
+    ),
+    "repro_ingest_freshness_le_100ms_total": (
+        "counter",
+        "Events visible within 100 ms of feed append.",
+    ),
+    "repro_ingest_freshness_le_500ms_total": (
+        "counter",
+        "Events visible within 500 ms of feed append.",
+    ),
+    "repro_ingest_freshness_le_1s_total": (
+        "counter",
+        "Events visible within 1 s of feed append.",
+    ),
+    "repro_ingest_freshness_le_5s_total": (
+        "counter",
+        "Events visible within 5 s of feed append.",
+    ),
+    "repro_ingest_freshness_events_total": (
+        "counter",
+        "Events with a freshness observation (the +Inf bucket).",
+    ),
+    "repro_ingest_freshness_max_seconds": (
+        "gauge",
+        "Worst append-to-visible latency observed since start.",
+    ),
+    "repro_ingest_freshness_p50_seconds": (
+        "gauge",
+        "Median append-to-visible latency over the recent window.",
+    ),
+    "repro_ingest_freshness_p95_seconds": (
+        "gauge",
+        "95th-percentile append-to-visible latency over the recent window.",
+    ),
+    "repro_ingest_freshness_p99_seconds": (
+        "gauge",
+        "99th-percentile append-to-visible latency over the recent window.",
+    ),
     # -- fault injection ----------------------------------------------------
     "repro_faults_injected_total": (
         "counter",

@@ -119,11 +119,15 @@ class ServiceClient:
         self,
         events: Sequence[tuple[str, str, float]],
         partition: str = "",
+        dedup: bool = False,
     ) -> dict[str, int]:
+        """Append events; ``dedup=True`` makes replays idempotent by
+        dropping events at or before each trace's indexed tail server-side."""
         return self._call(
             "ingest",
             events=[list(event) for event in events],
             partition=partition,
+            dedup=True if dedup else None,
         )
 
     def stats(self) -> dict[str, Any]:

@@ -47,8 +47,10 @@ from repro.core.errors import (
     EmptyPatternError,
     PatternSyntaxError,
     PolicyMismatchError,
+    TraceOrderError,
 )
 from repro.core.model import Event
+from repro.ingest.ingester import drop_indexed
 from repro.obs.registry import REGISTRY
 from repro.service.protocol import ProtocolError, recv_frame, send_frame
 
@@ -56,6 +58,7 @@ _BAD_REQUEST_ERRORS = (
     EmptyPatternError,
     PatternSyntaxError,
     PolicyMismatchError,
+    TraceOrderError,
     ValueError,
     TypeError,
     KeyError,
@@ -381,11 +384,22 @@ class SequenceService:
                 for trace_id, activity, timestamp in events
             ]
             partition = request.get("partition", "")
+            # ``dedup`` is the streaming ingester's replay filter: events
+            # at or before their trace's indexed tail are dropped instead
+            # of tripping the builder's trace-order check, making crash
+            # replay (and at-least-once producers) idempotent.
+            deduped = 0
             if self._ingest_lock is not None:
                 with self._ingest_lock:
-                    stats = self.engine.update(batch, partition)
+                    if request.get("dedup"):
+                        batch, deduped = drop_indexed(
+                            batch, self.engine.indexed_tail
+                        )
+                    stats = self._apply_ingest(batch, partition)
             else:
-                stats = self.engine.update(batch, partition)
+                if request.get("dedup"):
+                    batch, deduped = drop_indexed(batch, self.engine.indexed_tail)
+                stats = self._apply_ingest(batch, partition)
             return {
                 "id": request_id,
                 "ok": True,
@@ -393,6 +407,7 @@ class SequenceService:
                     "traces_seen": stats.traces_seen,
                     "new_traces": stats.new_traces,
                     "events_indexed": stats.events_indexed,
+                    "events_deduped": deduped,
                     "pairs_created": stats.pairs_created,
                 },
             }
@@ -405,6 +420,18 @@ class SequenceService:
         finally:
             self.metrics.bump("active_requests", -1)
             self._ingest_slots.release()
+
+    def _apply_ingest(self, batch: list[Event], partition: str) -> Any:
+        """Apply a (possibly fully-deduplicated) batch to the engine.
+
+        An empty post-dedup batch skips ``update()`` entirely so a pure
+        replay does not bump write generations and evict warm caches.
+        """
+        if not batch:
+            from repro.core.builder import UpdateStats
+
+            return UpdateStats(partition=partition)
+        return self.engine.update(batch, partition)
 
 
 def _error(request_id: Any, code: str, message: str) -> dict[str, Any]:

@@ -715,6 +715,14 @@ class ShardedSequenceIndex:
         """The indexed sequence of one trace (shard-local lookup)."""
         return self.shards[self.shard_of(trace_id)].get_trace(trace_id)
 
+    def indexed_tail(self, trace_id: str) -> float | None:
+        """Last indexed timestamp of one trace (shard-local lookup).
+
+        Routes to the owning shard, so the streaming ingester's replay
+        filter works identically over sharded and single-store engines.
+        """
+        return self.shards[self.shard_of(trace_id)].indexed_tail(trace_id)
+
     def top_pairs(self, k: int = 10) -> list[tuple[tuple[str, str], int]]:
         """The ``k`` globally most frequent pairs (summed across shards)."""
         if k <= 0:

@@ -1,0 +1,133 @@
+"""Feed format: complete-line reads, torn tails, offsets, tail repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Event
+from repro.ingest import FeedFormatError, FeedWriter, feed_size, read_feed
+
+
+def _events(n, trace="t1", start=1):
+    return [Event(trace, f"a{i}", float(start + i)) for i in range(n)]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            assert writer.append(_events(5)) == 5
+        events, offset = read_feed(path)
+        assert [(e.trace_id, e.activity, e.timestamp) for e in events] == [
+            ("t1", f"a{i}", float(i + 1)) for i in range(5)
+        ]
+        assert offset == feed_size(path)
+        assert all(e.appended_at is not None for e in events)
+
+    def test_no_stamp_reads_as_unstamped(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(2), stamp=False)
+        events, _ = read_feed(path)
+        assert all(e.appended_at is None for e in events)
+
+    def test_offset_resume_and_max_events(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(5))
+        first, offset = read_feed(path, 0, max_events=2)
+        rest, end = read_feed(path, offset)
+        assert [e.activity for e in first] == ["a0", "a1"]
+        assert [e.activity for e in rest] == ["a2", "a3", "a4"]
+        assert end == feed_size(path)
+
+    def test_missing_feed_reads_empty(self, tmp_path):
+        events, offset = read_feed(str(tmp_path / "absent.jsonl"), 7)
+        assert events == [] and offset == 7
+
+    def test_to_event_drops_the_stamp(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(1))
+        (feed_event,), _ = read_feed(path)
+        event = feed_event.to_event()
+        assert (event.trace_id, event.activity, event.timestamp) == (
+            "t1",
+            "a0",
+            1.0,
+        )
+
+
+class TestTornTails:
+    def test_torn_tail_is_not_consumed(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(2))
+        boundary = feed_size(path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"trace":"t1","activity"')  # no trailing newline
+        events, offset = read_feed(path)
+        assert len(events) == 2
+        assert offset == boundary  # stops exactly at the torn line
+
+    def test_torn_tail_consumed_once_newline_lands(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(1))
+        _, offset = read_feed(path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"trace":"t1","activity":"late",')
+        assert read_feed(path, offset) == ([], offset)
+        with open(path, "ab") as fh:
+            fh.write(b'"ts":9.0}\n')
+        events, _ = read_feed(path, offset)
+        assert [e.activity for e in events] == ["late"]
+
+    def test_writer_truncates_a_dead_producers_torn_tail(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(2))
+        with open(path, "ab") as fh:
+            fh.write(b'{"trace":"t1"')  # producer died mid-write
+        with FeedWriter(path) as writer:
+            writer.append(_events(1, start=10))
+        events, _ = read_feed(path)
+        assert [e.timestamp for e in events] == [1.0, 2.0, 10.0]
+
+    def test_blank_lines_advance_without_events(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            writer.append(_events(1))
+        with open(path, "ab") as fh:
+            fh.write(b"\n\n")
+        with FeedWriter(path) as writer:
+            writer.append(_events(1, start=5))
+        events, offset = read_feed(path)
+        assert [e.timestamp for e in events] == [1.0, 5.0]
+        assert offset == feed_size(path)
+
+
+class TestErrors:
+    def test_garbage_line_raises_with_offset(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(b"not json at all\n")
+        with pytest.raises(FeedFormatError, match="byte 0"):
+            read_feed(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with open(path, "wb") as fh:
+            fh.write(b'{"trace":"t1","ts":1.0}\n')
+        with pytest.raises(FeedFormatError):
+            read_feed(path)
+
+    def test_negative_offset_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            read_feed(str(tmp_path / "feed.jsonl"), -1)
+
+    def test_timestampless_event_rejected_at_append(self, tmp_path):
+        path = str(tmp_path / "feed.jsonl")
+        with FeedWriter(path) as writer:
+            with pytest.raises(ValueError, match="timestamps"):
+                writer.append([Event("t1", "a", None)])

@@ -386,3 +386,70 @@ class TestServeAndLoadgen:
         thread.join(timeout=20.0)
         assert not thread.is_alive()
         assert results["code"] == 0
+
+
+class TestFeedAndIngest:
+    def test_feed_then_local_ingest_then_detect(
+        self, log_file, tmp_path, capsys
+    ):
+        feed = str(tmp_path / "events.jsonl")
+        store = str(tmp_path / "ix")
+        assert main(["feed", "--log", log_file, "--feed", feed]) == 0
+        assert "appended 5 events" in capsys.readouterr().out
+        assert main(["ingest", "--feed", feed, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "applied 5 events" in out
+        assert "lag 0 bytes" in out
+        assert main(["detect", "--store", store, "A,C"]) == 0
+        assert "completions" in capsys.readouterr().out
+
+    def test_rerun_resumes_from_checkpoint(self, log_file, tmp_path, capsys):
+        feed = str(tmp_path / "events.jsonl")
+        store = str(tmp_path / "ix")
+        assert main(["feed", "--log", log_file, "--feed", feed]) == 0
+        assert main(["ingest", "--feed", feed, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["ingest", "--feed", feed, "--store", store]) == 0
+        assert "applied 0 events" in capsys.readouterr().out
+
+    def test_metrics_flag_renders_the_registry(
+        self, log_file, tmp_path, capsys
+    ):
+        feed = str(tmp_path / "events.jsonl")
+        assert main(["feed", "--log", log_file, "--feed", feed]) == 0
+        assert main(
+            [
+                "ingest",
+                "--feed",
+                feed,
+                "--store",
+                str(tmp_path / "ix"),
+                "--metrics",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_ingest_events_total" in out
+        assert "repro_ingest_freshness_events_total" in out
+
+    def test_ingest_requires_exactly_one_target(self, tmp_path):
+        feed = str(tmp_path / "events.jsonl")
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["ingest", "--feed", feed])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                [
+                    "ingest",
+                    "--feed",
+                    feed,
+                    "--store",
+                    str(tmp_path / "ix"),
+                    "--port",
+                    "7071",
+                ]
+            )
+
+    def test_faults_ingest_sweep(self, capsys):
+        assert main(["faults", "--ingest", "--seeds", "0:2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0: ok" in out
+        assert "converged" in out

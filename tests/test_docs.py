@@ -17,6 +17,9 @@ DOC_FILES = [
     "README.md",
     "DESIGN.md",
     "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/INGEST.md",
     "docs/METRICS.md",
     "docs/OPERATIONS.md",
 ]
@@ -132,3 +135,32 @@ def test_operations_guide_documents_the_pattern_grammar():
         doc = fh.read()
     assert "WITHIN" in doc, "docs/OPERATIONS.md lacks the pattern grammar"
     assert "diffcheck" in doc, "docs/OPERATIONS.md lacks the diffcheck runbook"
+
+
+# -- CLI surface --------------------------------------------------------------
+
+
+def _all_docs() -> str:
+    parts = []
+    for doc in DOC_FILES:
+        with open(os.path.join(REPO_ROOT, doc), encoding="utf-8") as fh:
+            parts.append(fh.read())
+    return "\n".join(parts)
+
+
+def test_every_cli_subcommand_documented():
+    """Adding a `repro` subcommand requires a `repro <name>` doc mention."""
+    from repro.bench.docscheck import known_subcommands
+
+    doc = _all_docs()
+    missing = [
+        sub for sub in sorted(known_subcommands()) if f"repro {sub}" not in doc
+    ]
+    assert not missing, f"CLI subcommands missing from the docs: {missing}"
+
+
+def test_docscheck_is_clean():
+    """The docs lint (dead links, stale CLI examples) has no findings."""
+    from repro.bench.docscheck import run_docscheck
+
+    assert run_docscheck(REPO_ROOT) == []
