@@ -70,6 +70,7 @@ def _open_index(args: argparse.Namespace):
             background_compaction=getattr(args, "background_compaction", False),
             compression=_compression_arg(args),
             mmap=getattr(args, "mmap", False),
+            compaction=getattr(args, "compaction", "size_tiered"),
         )
 
     shards = getattr(args, "shards", None)
@@ -505,7 +506,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
         workdir = os.path.join(args.path, f"seed-{seed}") if args.path else None
         try:
             summary = run_seed(
-                seed, ops=args.ops, path=workdir, compression=_compression_arg(args)
+                seed,
+                ops=args.ops,
+                path=workdir,
+                compression=_compression_arg(args),
+                compaction=args.compaction,
             )
         except CrashRecoveryFailure as exc:
             failures += 1
@@ -651,6 +656,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--mmap",
             action="store_true",
             help="serve SSTable reads from a memory map (page cache)",
+        )
+        p.add_argument(
+            "--compaction",
+            choices=("size_tiered", "leveled"),
+            default="size_tiered",
+            help="SSTable compaction strategy (stores written under one "
+            "strategy reopen under the other without migration)",
         )
         if with_build:
             p.add_argument("--method", choices=sorted(_METHODS), default=None)
@@ -902,6 +914,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("none", "zlib", "zstd"),
         default="none",
         help="run the store under test with this block codec",
+    )
+    flt.add_argument(
+        "--compaction",
+        choices=("size_tiered", "leveled"),
+        default="size_tiered",
+        help="compaction strategy for the store under test",
     )
     flt.set_defaults(fn=cmd_faults)
 

@@ -18,6 +18,7 @@ in :mod:`repro.core` runs unchanged on either.
 
 from repro.kvstore.api import KeyValueStore, StoreClosedError, UnknownTableError
 from repro.kvstore.cache import BlockCache, LRUCache
+from repro.kvstore.compaction import LeveledConfig
 from repro.kvstore.locks import RWLock
 from repro.kvstore.lsm import LSMStore, StoreMetrics
 from repro.kvstore.memory import InMemoryStore
@@ -34,6 +35,7 @@ __all__ = [
     "LSMStore",
     "InMemoryStore",
     "StoreMetrics",
+    "LeveledConfig",
     "LRUCache",
     "BlockCache",
     "RWLock",

@@ -112,8 +112,17 @@ class BlockCache(LRUCache):
 
     def evict_owner(self, owner: Hashable) -> None:
         """Drop every block belonging to ``owner`` (a closed reader's uid)."""
+        self.evict_owners((owner,))
+
+    def evict_owners(self, owners) -> None:
+        """Drop the blocks of several retired readers in one sweep.
+
+        A leveled cascade retires all of a merge's inputs at once; a single
+        pass over the cache replaces one full scan per closed reader.
+        """
+        owners = frozenset(owners)
         with self._lock:
-            dead = [key for key in self._entries if key[0] == owner]
+            dead = [key for key in self._entries if key[0] in owners]
             for key in dead:
                 _, weight = self._entries.pop(key)
                 self._weight -= weight

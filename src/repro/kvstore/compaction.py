@@ -1,11 +1,30 @@
-"""Size-tiered compaction for the LSM store.
+"""Compaction strategies for the LSM store.
 
-Compaction picks a *contiguous* run of SSTables (contiguity in manifest
-order is what keeps merge-delta history well-ordered) whose sizes are within
-a band of each other, and k-way merges them into a single replacement table.
-Tombstones and baseless merge deltas can only be finalised when the run
-includes the oldest table -- otherwise an older file might still hold the
-base value the deltas apply to.
+Two planners live behind the same seam (``LSMStore(compaction=...)``):
+
+**Size-tiered** picks a *contiguous* run of SSTables (contiguity in
+manifest order is what keeps merge-delta history well-ordered) whose sizes
+are within a band of each other, and k-way merges them into a single
+replacement table.  Tombstones and baseless merge deltas can only be
+finalised when the run includes the oldest table -- otherwise an older
+file might still hold the base value the deltas apply to.
+
+**Leveled** organises tables into levels: L0 holds raw flush output
+(tables may overlap; recency = manifest order), every deeper level is a
+single sorted run of key-disjoint tables with a byte budget growing by
+``fanout`` per level.  When L0 accumulates ``l0_compact_tables`` tables
+they are merged with the overlapping slice of L1; when a deeper level
+exceeds its budget one victim table is promoted into the overlapping
+slice of the next level (cascading on overflow).  A promotion whose
+victim overlaps nothing below it is a *trivial move* -- a manifest-only
+level reassignment that rewrites zero bytes.  ``plan_leveled`` is a pure
+function over table metadata so the planner is directly property-testable
+(see ``tests/kvstore/test_leveled_planner.py``).
+
+Recency ordering is shared by both strategies: the store keeps one flat
+list, oldest shadow first, i.e. deepest level first and L0 last
+(oldest -> newest within L0), so merge ties resolve newest-first exactly
+as in the size-tiered path.
 """
 
 from __future__ import annotations
@@ -61,6 +80,180 @@ def plan_size_tiered(
         if stop - start >= min_tables:
             return CompactionPlan(start, stop)
         start += 1
+    return None
+
+
+class LeveledConfig:
+    """Tuning knobs for the leveled strategy.
+
+    ``l0_compact_tables`` is the hard L0 trigger (the store reuses its
+    ``compaction_min_tables`` knob for it by default); ``base_level_bytes``
+    is L1's byte budget and each deeper level multiplies it by ``fanout``.
+    ``max_output_bytes`` bounds a single merged output table (promotions
+    split their output at this size so one merge never produces a table
+    that must immediately be re-split).  ``soft_ratio`` scales both
+    triggers down for the background compactor's early rounds, smoothing
+    work ahead of the hard thresholds instead of bursting at them.
+
+    ``grandparent_limit_factor`` caps how much *next-deeper* level data a
+    single merge output may span: while writing outputs into level ``n``
+    the store cuts the current output once it has crossed more than
+    ``factor * max_output_bytes`` of level ``n + 1``.  Without the cut, a
+    workload with cold gaps in its keyspace (e.g. period-partitioned
+    index regions) produces "bridge" tables whose key range straddles a
+    gap; every later promotion through that range drags the bridge into a
+    rewrite.  Cutting at grandparent boundaries keeps outputs aligned
+    with the cold runs below them, so they can later sink as
+    manifest-only trivial moves.
+    """
+
+    __slots__ = (
+        "l0_compact_tables",
+        "base_level_bytes",
+        "fanout",
+        "max_output_bytes",
+        "soft_ratio",
+        "grandparent_limit_factor",
+    )
+
+    def __init__(
+        self,
+        l0_compact_tables: int = 4,
+        base_level_bytes: int = 8 * 1024 * 1024,
+        fanout: int = 8,
+        max_output_bytes: int | None = None,
+        soft_ratio: float = 0.75,
+        grandparent_limit_factor: int = 8,
+    ) -> None:
+        if l0_compact_tables < 2:
+            raise ValueError("l0_compact_tables must be at least 2")
+        if base_level_bytes <= 0:
+            raise ValueError("base_level_bytes must be positive")
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if not 0.0 < soft_ratio <= 1.0:
+            raise ValueError("soft_ratio must be in (0, 1]")
+        if grandparent_limit_factor < 1:
+            raise ValueError("grandparent_limit_factor must be at least 1")
+        self.l0_compact_tables = l0_compact_tables
+        self.base_level_bytes = base_level_bytes
+        self.fanout = fanout
+        self.max_output_bytes = max_output_bytes or base_level_bytes
+        self.soft_ratio = soft_ratio
+        self.grandparent_limit_factor = grandparent_limit_factor
+
+    def level_target_bytes(self, level: int) -> int:
+        """Byte budget for ``level`` (>= 1): base * fanout^(level-1)."""
+        return self.base_level_bytes * self.fanout ** (level - 1)
+
+
+class LeveledPlan:
+    """One promotion: ``sources`` at ``level`` merge into overlapping
+    ``targets`` at ``level + 1``."""
+
+    __slots__ = ("level", "sources", "targets", "reason")
+
+    def __init__(self, level: int, sources: list, targets: list, reason: str) -> None:
+        self.level = level
+        self.sources = sources
+        self.targets = targets
+        self.reason = reason
+
+    @property
+    def target_level(self) -> int:
+        return self.level + 1
+
+    @property
+    def is_trivial_move(self) -> bool:
+        """A single disjoint victim can change level without a rewrite.
+
+        Only for L1+ sources: L0 promotions always take every L0 table and
+        those may overlap *each other*, so they must go through the merge.
+        """
+        return self.level >= 1 and len(self.sources) == 1 and not self.targets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LeveledPlan(L{self.level}->L{self.target_level}, "
+            f"{len(self.sources)} sources, {len(self.targets)} targets, "
+            f"{self.reason})"
+        )
+
+
+def _ranges_overlap(
+    lo_a: bytes | None, hi_a: bytes | None, lo_b: bytes | None, hi_b: bytes | None
+) -> bool:
+    """Closed-interval overlap; an unknown bound means "may span anything"."""
+    if lo_a is None or hi_a is None or lo_b is None or hi_b is None:
+        return True
+    return lo_a <= hi_b and lo_b <= hi_a
+
+
+def _overlapping(tables: list, lo: bytes | None, hi: bytes | None) -> list:
+    return [
+        t for t in tables if _ranges_overlap(t.min_key, t.max_key, lo, hi)
+    ]
+
+
+def plan_leveled(
+    levels: list[list], config: LeveledConfig, soft: bool = False
+) -> LeveledPlan | None:
+    """Choose the next promotion, or ``None`` when every level is in shape.
+
+    ``levels[0]`` is L0 in recency order (oldest -> newest); each deeper
+    ``levels[n]`` is a key-disjoint run.  Tables expose ``data_bytes``,
+    ``min_key`` and ``max_key`` (``None`` bounds are treated as "may
+    overlap anything", which is the safe reading for legacy tables whose
+    manifest predates key-range tracking).
+
+    Checked shallowest-first so an overflow cascades naturally: promoting
+    into L(n+1) may overflow it, and the next round then picks L(n+1).
+    ``soft`` scales the triggers by ``soft_ratio`` -- the background
+    compactor runs with it to start promotions *before* the hard
+    thresholds would force them onto the foreground path.
+
+    The victim for an L1+ promotion is the table whose key range overlaps
+    the fewest bytes in the next level (ties to the smallest ``min_key``):
+    deterministic, and it steers promotions toward the cheap end of the
+    keyspace -- append-mostly workloads promote their cold tail as trivial
+    moves instead of rewriting the hot head.
+    """
+    if not levels:
+        return None
+    l0 = levels[0]
+    l0_trigger = config.l0_compact_tables
+    if soft:
+        l0_trigger = max(2, int(l0_trigger * config.soft_ratio))
+    if len(l0) >= l0_trigger:
+        lo: bytes | None = None
+        hi: bytes | None = None
+        known = all(t.min_key is not None and t.max_key is not None for t in l0)
+        if known:
+            lo = min(t.min_key for t in l0)
+            hi = max(t.max_key for t in l0)
+        targets = _overlapping(levels[1], lo, hi) if len(levels) > 1 else []
+        return LeveledPlan(0, list(l0), targets, "soft-l0" if soft else "l0")
+    for n in range(1, len(levels)):
+        tables = levels[n]
+        if not tables:
+            continue
+        threshold = config.level_target_bytes(n)
+        if soft:
+            threshold = int(threshold * config.soft_ratio)
+        if sum(t.data_bytes for t in tables) <= threshold:
+            continue
+        below = levels[n + 1] if n + 1 < len(levels) else []
+
+        def overlap_cost(table) -> tuple[int, bytes]:
+            cost = sum(
+                t.data_bytes
+                for t in _overlapping(below, table.min_key, table.max_key)
+            )
+            return cost, table.min_key or b""
+
+        victim = min(tables, key=overlap_cost)
+        targets = _overlapping(below, victim.min_key, victim.max_key)
+        return LeveledPlan(n, [victim], targets, "soft-overflow" if soft else "overflow")
     return None
 
 
@@ -142,7 +335,11 @@ class BackgroundCompactor:
 
     The store signals :meth:`trigger` after every flush; the worker then
     drains qualifying compaction runs (``store._compaction_round()`` until
-    it reports no plan).  All coordination with foreground reads/writes
+    it reports no plan).  Rounds run with ``soft=True``: the leveled
+    planner then compacts down to ``soft_ratio`` of each trigger, starting
+    promotions early and off the write path so the hard thresholds --
+    which the inline (foreground) path enforces -- are rarely hit in a
+    burst.  All coordination with foreground reads/writes
     happens inside the store's own locking: the worker merges tables with
     no lock held and swaps the SSTable set atomically under the store's
     write lock, so a crash (or :meth:`stop`) between output and swap leaves
@@ -183,7 +380,7 @@ class BackgroundCompactor:
             if self._stopped.is_set():
                 return
             try:
-                while self._store._compaction_round():
+                while self._store._compaction_round(soft=True):
                     if self._stopped.is_set():
                         return
             except SimulatedCrash as exc:

@@ -65,7 +65,14 @@ from repro.kvstore.api import (
     normalize_key,
 )
 from repro.kvstore.cache import BlockCache
-from repro.kvstore.compaction import BackgroundCompactor, merge_records, plan_size_tiered
+from repro.kvstore.compaction import (
+    BackgroundCompactor,
+    LeveledConfig,
+    LeveledPlan,
+    merge_records,
+    plan_leveled,
+    plan_size_tiered,
+)
 from repro.kvstore.encoding import (
     Key,
     KeyPart,
@@ -110,6 +117,17 @@ class StoreMetrics:
     (:class:`repro.core.engine.SequenceIndex`) onto its store's metrics so
     serving-path counters live in one snapshot.
 
+    ``flush_bytes_written`` / ``compaction_bytes_rewritten`` account every
+    data byte a flush persisted and every data byte a compaction merge
+    re-persisted; their ratio is the store's write amplification, which is
+    what the leveled-vs-size-tiered ablation measures.
+    ``compaction_moves`` counts leveled trivial moves (promotions that
+    re-levelled a table in the manifest without rewriting it).
+    ``block_reads`` counts physical data-block loads and
+    ``lazy_meta_loads`` counts lazily-opened SSTables that materialized
+    their index/bloom metadata -- both stay at zero across a lazy reopen
+    until the first read arrives.
+
     Counters are sharded per thread so :meth:`bump` never takes a lock --
     concurrent readers do not serialize on a shared metrics mutex.
     :meth:`snapshot` (and attribute reads like ``metrics.gets``) aggregate
@@ -147,6 +165,11 @@ class StoreMetrics:
         "sequence_cache_hits",
         "sequence_cache_misses",
         "planner_reorders",
+        "flush_bytes_written",
+        "compaction_bytes_rewritten",
+        "compaction_moves",
+        "block_reads",
+        "lazy_meta_loads",
     )
 
     def __init__(self) -> None:
@@ -208,6 +231,9 @@ class LSMStore(KeyValueStore):
         compression: str | None = None,
         mmap: bool = False,
         io=None,
+        compaction: str = "size_tiered",
+        leveled: LeveledConfig | None = None,
+        lazy_open: bool = True,
     ) -> None:
         self._path = path
         #: filesystem shim for durability-critical I/O; tests inject a
@@ -217,6 +243,22 @@ class LSMStore(KeyValueStore):
         self._sync_wal = sync_wal
         self._compaction_min_tables = compaction_min_tables
         self._auto_compact = auto_compact
+        # The strategy knob only affects how future compactions are
+        # *planned*; both strategies read the same flat, shadow-ordered
+        # table list, so a store written under one reopens (and keeps
+        # compacting) under the other with no migration step.
+        if compaction not in ("size_tiered", "leveled"):
+            raise ValueError(f"unknown compaction strategy {compaction!r}")
+        self._compaction = compaction
+        if leveled is not None:
+            self._leveled_config = leveled
+        else:
+            self._leveled_config = LeveledConfig(
+                l0_compact_tables=max(2, compaction_min_tables)
+            )
+        #: lazy manifest-only open: readers defer index/bloom until first
+        #: use, so reopen cost is O(manifest), not O(data).
+        self._lazy_open = lazy_open
         # Fail fast on an unknown/unavailable codec (e.g. zstd without the
         # zstandard package) instead of erroring at first flush.  The knob
         # only affects *writes*: readers dispatch per file on the header
@@ -291,20 +333,83 @@ class LSMStore(KeyValueStore):
             self._merge_ops[table_id] = (
                 resolve_merge_operator(op_name) if op_name else None
             )
-        for filename in manifest["sstables"]:
-            self._sstables.append(
-                SSTableReader(
-                    os.path.join(self._path, filename),
-                    cache=self._block_cache,
-                    io=self._io,
-                    use_mmap=self._mmap,
-                    metrics=self.metrics,
+        for entry in manifest["sstables"]:
+            if isinstance(entry, str):  # manifest v1: plain filename, L0
+                filename, level, min_key, max_key = entry, 0, None, None
+            else:
+                filename = entry["file"]
+                level = int(entry.get("level", 0))
+                min_key = (
+                    bytes.fromhex(entry["min_key"]) if entry.get("min_key") else None
                 )
+                max_key = (
+                    bytes.fromhex(entry["max_key"]) if entry.get("max_key") else None
+                )
+            reader = SSTableReader(
+                os.path.join(self._path, filename),
+                cache=self._block_cache,
+                io=self._io,
+                use_mmap=self._mmap,
+                metrics=self.metrics,
+                lazy=self._lazy_open,
             )
+            reader.level = level
+            reader.min_key = min_key
+            reader.max_key = max_key
+            self._sstables.append(reader)
+        self._validate_levels()
+
+    def _validate_levels(self) -> None:
+        """Demote every table to L0 if the manifest's level layout is unsound.
+
+        The flat manifest order is what reads trust (oldest shadow first),
+        so interpreting *any* layout as all-L0 is always correct -- L0
+        imposes nothing beyond that order.  Keeping deeper levels, however,
+        lets the planner reorder tables within a level and skip shadow
+        checks between disjoint runs, so levels survive a reload only when
+        the invariants actually hold: flat order non-increasing in level
+        (deepest first) and every L1+ level a key-disjoint run with known
+        bounds.  A size-tiered store's manifest (all L0) passes trivially;
+        a manifest scrambled by a size-tiered round over a formerly
+        leveled store demotes cleanly and the leveled planner rebuilds
+        the levels from scratch.
+        """
+        sound = True
+        prev: int | None = None
+        for reader in self._sstables:
+            if reader.level < 0 or (prev is not None and reader.level > prev):
+                sound = False
+                break
+            prev = reader.level
+        if sound:
+            by_level: dict[int, list[SSTableReader]] = {}
+            for reader in self._sstables:
+                if reader.level >= 1:
+                    if (
+                        reader.min_key is None
+                        or reader.max_key is None
+                        or reader.min_key > reader.max_key
+                    ):
+                        sound = False
+                        break
+                    by_level.setdefault(reader.level, []).append(reader)
+            if sound:
+                for tables in by_level.values():
+                    tables.sort(key=lambda r: r.min_key)
+                    if any(
+                        a.max_key >= b.min_key
+                        for a, b in zip(tables, tables[1:])
+                    ):
+                        sound = False
+                        break
+        if not sound:
+            for reader in self._sstables:
+                reader.level = 0  # key bounds stay: they are still true
 
     def _write_manifest(self) -> None:
         manifest = {
-            "version": 1,
+            "version": 2,
+            "compaction": self._compaction,
             "next_table_id": self._next_table_id,
             "next_sst_id": self._next_sst_id,
             "last_flushed_seq": self._last_flushed_seq,
@@ -312,7 +417,17 @@ class LSMStore(KeyValueStore):
                 name: {"id": table_id, "merge": self._merge_op_names.get(name)}
                 for name, table_id in self._tables.items()
             },
-            "sstables": [os.path.basename(r.path) for r in self._sstables],
+            "sstables": [
+                {
+                    "file": os.path.basename(r.path),
+                    "level": r.level,
+                    "min_key": r.min_key.hex() if r.min_key is not None else None,
+                    "max_key": r.max_key.hex() if r.max_key is not None else None,
+                    "records": r.record_count,
+                    "data_bytes": r.data_bytes,
+                }
+                for r in self._sstables
+            ],
         }
         tmp = self._manifest_path() + ".tmp"
         fh = self._io.open(tmp, "wb")
@@ -785,6 +900,8 @@ class LSMStore(KeyValueStore):
                 reader = writer.finish(
                     cache=self._block_cache, use_mmap=self._mmap, metrics=self.metrics
                 )
+                reader.min_key = writer.first_key
+                reader.max_key = writer.last_key
                 if writer.compressed_blocks:
                     self.metrics.bump("compressed_blocks", writer.compressed_blocks)
                 if span.enabled:
@@ -800,6 +917,7 @@ class LSMStore(KeyValueStore):
             self._pending_flush = None
             self._write_manifest()
         self.metrics.bump("flushes")
+        self.metrics.bump("flush_bytes_written", reader.data_bytes)
         # Every frozen segment up to ours holds only records <= upto; flushes
         # complete in seal order (a pending handoff is drained before a new
         # seal), so no segment is deleted before its memtable is persisted.
@@ -810,6 +928,11 @@ class LSMStore(KeyValueStore):
             return
         if self._compactor is not None:
             self._compactor.trigger()
+        elif self._compaction == "leveled":
+            # A promotion can overflow the next level: drain the cascade
+            # inline so the hard invariants hold when the flush returns.
+            while self._compaction_round():
+                pass
         else:
             self._compaction_round()
 
@@ -819,16 +942,27 @@ class LSMStore(KeyValueStore):
         return self._compaction_round()
 
     def compact_all(self) -> None:
-        """Force-merge every SSTable into one (full major compaction)."""
+        """Force-merge every SSTable into one run (full major compaction).
+
+        Under size-tiered the result is a single table; under leveled it is
+        a single key-disjoint run at the deepest populated level (split at
+        the configured output size), which is the same full-finalize merge.
+        """
         self._check_open()
         self.flush()
         with self._compaction_lock:
             with self._state_lock.read():
-                stop = len(self._sstables)
-            if stop > 1:
-                self._compact_slice(0, stop)
+                inputs = list(self._sstables)
+            if self._compaction == "leveled":
+                depth = max((r.level for r in inputs), default=0)
+                if len(inputs) > 1 or (inputs and depth == 0):
+                    self._merge_into_level(inputs, max(1, depth), finalize=True)
+            elif len(inputs) > 1:
+                self._compact_slice(0, len(inputs))
 
-    def _compaction_round(self) -> bool:
+    def _compaction_round(self, soft: bool = False) -> bool:
+        if self._compaction == "leveled":
+            return self._leveled_round(soft)
         with self._compaction_lock:
             with self._state_lock.read():
                 if self._closed:
@@ -880,6 +1014,8 @@ class LSMStore(KeyValueStore):
                 merged = writer.finish(
                     cache=self._block_cache, use_mmap=self._mmap, metrics=self.metrics
                 )
+                merged.min_key = writer.first_key
+                merged.max_key = writer.last_key
                 if writer.compressed_blocks:
                     self.metrics.bump("compressed_blocks", writer.compressed_blocks)
                 if span.enabled:
@@ -920,10 +1056,239 @@ class LSMStore(KeyValueStore):
             self._sstables[start:stop] = [merged]
             self._write_manifest()
         self.metrics.bump("compactions")
-        for reader in run:
-            reader.close()
-            self._io.remove(reader.path)
+        self.metrics.bump("compaction_bytes_rewritten", merged.data_bytes)
+        self._retire(run)
         return True
+
+    # -- leveled compaction ------------------------------------------------------------
+
+    def _levels_snapshot_locked(self) -> list[list[SSTableReader]]:
+        """Group the flat list by level; caller holds (at least) the read lock.
+
+        ``levels[0]`` keeps flat-list order (oldest -> newest); deeper
+        levels sort by ``min_key`` so the planner sees each run in key
+        order regardless of how the flat list interleaved them.
+        """
+        depth = max((r.level for r in self._sstables), default=0)
+        levels: list[list[SSTableReader]] = [[] for _ in range(depth + 1)]
+        for reader in self._sstables:
+            levels[reader.level].append(reader)
+        for n in range(1, len(levels)):
+            levels[n].sort(key=lambda r: r.min_key or b"")
+        return levels
+
+    def _rebuild_flat_locked(self) -> None:
+        """Re-derive the flat read order from per-table levels.
+
+        Deepest level first (oldest shadow), then L0 in its existing
+        relative order (recency).  Within an L1+ level tables are
+        key-disjoint, so sorting them by ``min_key`` cannot change which
+        record shadows which.  Caller holds the write lock.
+        """
+        l0 = [r for r in self._sstables if r.level == 0]
+        deeper = [r for r in self._sstables if r.level > 0]
+        deeper.sort(key=lambda r: (-r.level, r.min_key or b""))
+        self._sstables = deeper + l0
+
+    def _leveled_round(self, soft: bool = False) -> bool:
+        """Plan and apply one leveled promotion; ``True`` if work was done."""
+        with self._compaction_lock:
+            with self._state_lock.read():
+                if self._closed:
+                    return False
+                levels = self._levels_snapshot_locked()
+            plan = plan_leveled(levels, self._leveled_config, soft=soft)
+            if plan is None:
+                return False
+            if plan.is_trivial_move:
+                return self._apply_trivial_move(plan)
+            finalize = all(
+                not levels[n] for n in range(plan.target_level + 1, len(levels))
+            )
+            inputs = list(plan.targets) + list(plan.sources)
+            grandparents = (
+                levels[plan.target_level + 1]
+                if plan.target_level + 1 < len(levels)
+                else []
+            )
+            return self._merge_into_level(
+                inputs, plan.target_level, finalize, grandparents=grandparents
+            )
+
+    def _apply_trivial_move(self, plan: LeveledPlan) -> bool:
+        """Promote a victim that overlaps nothing below it: manifest-only.
+
+        No bytes are rewritten -- the table changes its level label and
+        the manifest is re-persisted.  Safe against races: we hold
+        ``_compaction_lock`` (no concurrent compaction can repopulate the
+        target level) and concurrent flushes only ever append to L0.
+        """
+        source = plan.sources[0]
+        with self._state_lock.write():
+            if self._closed or source not in self._sstables:
+                return False
+            source.level = plan.target_level
+            self._rebuild_flat_locked()
+            self._write_manifest()
+        self.metrics.bump("compaction_moves")
+        return True
+
+    def _merge_into_level(
+        self,
+        inputs_oldest_first: list[SSTableReader],
+        target_level: int,
+        finalize: bool,
+        grandparents: list[SSTableReader] | None = None,
+    ) -> bool:
+        """Merge ``inputs`` into key-disjoint tables at ``target_level``.
+
+        The leveled counterpart of :meth:`_compact_slice`, with the same
+        protocol and the same anti-laundering property: scrub every input
+        first, write the candidate outputs (split at the configured
+        output size), pass each through the ``compaction.pre_swap`` fault
+        point, CRC-verify them, then swap tables + manifest atomically
+        under the write lock.  Caller holds ``_compaction_lock``.
+
+        ``grandparents`` are the tables one level below ``target_level``:
+        outputs are additionally cut once they have crossed more than
+        ``grandparent_limit_factor * max_output_bytes`` of them, so no
+        output's key range bridges a cold gap in the deeper run (which
+        would drag that deeper data into every future promotion).
+        """
+        for reader in inputs_oldest_first:
+            try:
+                reader.verify()
+            except CorruptionError:
+                self.metrics.bump("compaction_aborts")
+                return False
+        split_bytes = self._leveled_config.max_output_bytes
+        gp_limit = split_bytes * self._leveled_config.grandparent_limit_factor
+        gp_run = sorted(
+            (t for t in grandparents or [] if t.max_key is not None),
+            key=lambda t: t.max_key,
+        )
+        gp_index = 0
+        gp_crossed = 0
+        expected = max(
+            1,
+            sum(r.record_count for r in inputs_oldest_first)
+            // max(1, len(inputs_oldest_first)),
+        )
+        outputs: list[SSTableReader] = []
+        writer: SSTableWriter | None = None
+        span = current_tracer().span("lsm.compaction")
+        try:
+            with span:
+                for kind, key, value in merge_records(
+                    inputs_oldest_first, self._operator_for_full_key, finalize
+                ):
+                    while gp_index < len(gp_run) and gp_run[gp_index].max_key < key:
+                        gp_crossed += gp_run[gp_index].data_bytes
+                        gp_index += 1
+                    if (
+                        writer is not None
+                        and writer.raw_data_bytes > 0
+                        and gp_crossed > gp_limit
+                    ):
+                        outputs.append(self._finish_output(writer, target_level))
+                        writer = None
+                    if writer is None:
+                        with self._state_lock.write():
+                            filename = f"sst-{self._next_sst_id:06d}.sst"
+                            self._next_sst_id += 1
+                        writer = SSTableWriter(
+                            os.path.join(self._path, filename),
+                            expected_records=expected,
+                            io=self._io,
+                            compression=self._compression,
+                        )
+                        gp_crossed = 0
+                    writer.add(key, kind, value)
+                    if writer.raw_data_bytes >= split_bytes:
+                        outputs.append(self._finish_output(writer, target_level))
+                        writer = None
+                if writer is not None:
+                    outputs.append(self._finish_output(writer, target_level))
+                    writer = None
+                if span.enabled:
+                    span.add("inputs", len(inputs_oldest_first))
+                    span.add(
+                        "input_bytes",
+                        sum(r.data_bytes for r in inputs_oldest_first),
+                    )
+                    span.add("outputs", len(outputs))
+                    span.add("output_bytes", sum(r.data_bytes for r in outputs))
+                    span.add("target_level", target_level)
+        except BaseException:
+            # Simulated kill mid-merge: in-flight tmp file is dropped,
+            # finished outputs stay as orphans exactly as a crash leaves
+            # them (the manifest never references an orphan).
+            if writer is not None:
+                writer.abort()
+            for merged in outputs:
+                merged.close()
+            raise
+        try:
+            for merged in outputs:
+                # Named fault point for the vulnerable window (outputs
+                # sealed, manifest not yet swapped), one per output.
+                self._io.fault_point("compaction.pre_swap", merged.path)
+                if self.compaction_pre_swap_hook is not None:
+                    self.compaction_pre_swap_hook(merged.path)
+        except BaseException:
+            for merged in outputs:
+                merged.close()
+            raise
+        try:
+            for merged in outputs:
+                merged.verify()
+        except Exception:
+            for merged in outputs:
+                merged.close()
+                os.remove(merged.path)
+            self.metrics.bump("compaction_aborts")
+            return False
+        with self._state_lock.write():
+            if self._closed or any(
+                r not in self._sstables for r in inputs_oldest_first
+            ):
+                # Store closed (or inputs retired) under us: discard.
+                for merged in outputs:
+                    merged.close()
+                    os.remove(merged.path)
+                self.metrics.bump("compaction_aborts")
+                return False
+            survivors = [r for r in self._sstables if r not in inputs_oldest_first]
+            self._sstables = survivors + outputs
+            self._rebuild_flat_locked()
+            self._write_manifest()
+        self.metrics.bump("compactions")
+        self.metrics.bump(
+            "compaction_bytes_rewritten", sum(r.data_bytes for r in outputs)
+        )
+        self._retire(inputs_oldest_first)
+        return True
+
+    def _retire(self, readers: list[SSTableReader]) -> None:
+        """Close and delete merged-away tables; one cache sweep for all."""
+        if self._block_cache is not None:
+            self._block_cache.evict_owners(r._uid for r in readers)
+        for reader in readers:
+            reader.close(evict_blocks=False)
+            self._io.remove(reader.path)
+
+    def _finish_output(self, writer: SSTableWriter, level: int) -> SSTableReader:
+        """Seal one compaction output and annotate its placement."""
+        first, last = writer.first_key, writer.last_key
+        merged = writer.finish(
+            cache=self._block_cache, use_mmap=self._mmap, metrics=self.metrics
+        )
+        if writer.compressed_blocks:
+            self.metrics.bump("compressed_blocks", writer.compressed_blocks)
+        merged.level = level
+        merged.min_key = first
+        merged.max_key = last
+        return merged
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -976,6 +1341,24 @@ class LSMStore(KeyValueStore):
         with self._state_lock.read():
             return len(self._sstables)
 
+    def level_stats(self) -> list[dict[str, int]]:
+        """Per-level table count and data bytes, L0 first.
+
+        Size-tiered stores report everything at L0; the leveled strategy
+        populates deeper levels as promotions run.
+        """
+        with self._state_lock.read():
+            self._check_open()
+            depth = max((r.level for r in self._sstables), default=0)
+            stats = [
+                {"level": n, "tables": 0, "data_bytes": 0}
+                for n in range(depth + 1)
+            ]
+            for reader in self._sstables:
+                stats[reader.level]["tables"] += 1
+                stats[reader.level]["data_bytes"] += reader.data_bytes
+            return stats
+
     def verify(self) -> None:
         """Scrub every SSTable's data section against its checksum.
 
@@ -1014,6 +1397,7 @@ class LSMStore(KeyValueStore):
                     {
                         "file": os.path.basename(reader.path),
                         "format_version": reader.format_version,
+                        "level": reader.level,
                         "records": reader.record_count,
                         "data_bytes": reader.data_bytes,
                         "raw_data_bytes": reader.raw_data_bytes,
@@ -1031,6 +1415,8 @@ class LSMStore(KeyValueStore):
             "file_bytes": sum(entry["file_bytes"] for entry in per_sstable),
             "compression_ratio": (raw_bytes / data_bytes) if data_bytes else 1.0,
             "compression": self._compression,
+            "compaction": self._compaction,
+            "level_count": len({entry["level"] for entry in per_sstable}),
             "mmap": self._mmap,
         }
 
@@ -1041,6 +1427,7 @@ class LSMStore(KeyValueStore):
                 return {}
             sstables = len(self._sstables)
             tables = len(self._tables)
+            level_count = len({reader.level for reader in self._sstables})
             bytes_on_disk = 0
             for reader in self._sstables:
                 try:
@@ -1053,6 +1440,7 @@ class LSMStore(KeyValueStore):
             tables=tables,
             cache_stats=self.cache_stats(),
             bytes_on_disk=bytes_on_disk,
+            level_count=level_count,
         )
 
     def _check_open(self) -> None:

@@ -84,8 +84,32 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         "counter",
         "Executed plans that deviated from left-to-right order.",
     ),
+    "repro_store_flush_bytes_written_total": (
+        "counter",
+        "Data bytes persisted by memtable flushes.",
+    ),
+    "repro_store_compaction_bytes_rewritten_total": (
+        "counter",
+        "Data bytes re-persisted by compaction merges (write amplification).",
+    ),
+    "repro_store_compaction_moves_total": (
+        "counter",
+        "Leveled trivial moves: promotions that rewrote zero bytes.",
+    ),
+    "repro_store_block_reads_total": (
+        "counter",
+        "Physical SSTable data-block loads (block-cache hits excluded).",
+    ),
+    "repro_store_lazy_meta_loads_total": (
+        "counter",
+        "Lazily-opened SSTables that materialized index/bloom metadata.",
+    ),
     # -- store shape gauges -------------------------------------------------
     "repro_store_sstables": ("gauge", "Live SSTables on disk."),
+    "repro_store_level_count": (
+        "gauge",
+        "Distinct populated LSM levels (1 for a pure-L0 size-tiered store).",
+    ),
     "repro_store_tables": ("gauge", "Logical tables created."),
     "repro_sstable_bytes_on_disk": (
         "gauge",
@@ -341,6 +365,7 @@ def store_samples(
     tables: int | None = None,
     cache_stats: dict[str, int] | None = None,
     bytes_on_disk: int | None = None,
+    level_count: int | None = None,
 ) -> dict[str, float]:
     """Map a :class:`~repro.kvstore.lsm.StoreMetrics` snapshot (plus shape
     gauges and block-cache occupancy) to exposition names."""
@@ -352,6 +377,8 @@ def store_samples(
         samples["repro_store_sstables"] = sstables
     if tables is not None:
         samples["repro_store_tables"] = tables
+    if level_count is not None:
+        samples["repro_store_level_count"] = level_count
     if bytes_on_disk is not None:
         samples["repro_sstable_bytes_on_disk"] = bytes_on_disk
     if cache_stats:

@@ -127,6 +127,7 @@ class TestRegistryCompleteness:
         assert set(ALL_EXPERIMENTS) - paper_artifacts == {
             "ablation_cache",
             "ablation_planner",
+            "leveled_compaction",
             "pattern_language",
             "postings_compression",
             "sharded_service",

@@ -68,10 +68,20 @@ class TestPersistentPool:
         with ParallelExecutor(
             backend="thread", max_workers=2, persistent=True
         ) as executor:
-            names_a = set(executor.gather([threading.current_thread] * 4))
-            names_b = set(executor.gather([threading.current_thread] * 4))
+
+            def occupy_worker():
+                # Rendezvous so each round provably runs on BOTH workers;
+                # instant thunks can land on one worker and make the
+                # round-to-round intersection racy.
+                barrier.wait(timeout=5.0)
+                return threading.current_thread()
+
+            barrier = threading.Barrier(2)
+            names_a = set(executor.gather([occupy_worker] * 2))
+            barrier.reset()
+            names_b = set(executor.gather([occupy_worker] * 2))
             # Same worker threads serve both rounds: the pool persisted.
-            assert names_a & names_b
+            assert names_a == names_b and len(names_a) == 2
 
     def test_close_is_idempotent_and_final(self):
         executor = ParallelExecutor(

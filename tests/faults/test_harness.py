@@ -6,6 +6,9 @@ import pytest
 
 from repro.faults import (
     CORRUPT,
+    CRASH_AFTER_RENAME,
+    CRASH_BEFORE_RENAME,
+    TORN_WRITE,
     TRUNCATE_CRASH,
     CrashRecoveryFailure,
     Fault,
@@ -14,8 +17,14 @@ from repro.faults import (
     SimulatedCrash,
     run_seed,
 )
-from repro.faults.harness import _Oracle, ABSENT, WorkloadOp, generate_workload
-from repro.kvstore import LSMStore
+from repro.faults.harness import (
+    _Oracle,
+    ABSENT,
+    WorkloadOp,
+    generate_workload,
+    simulate_crash,
+)
+from repro.kvstore import LSMStore, LeveledConfig
 
 # Fixed seeds exercised on every tier-1 run; chosen to cover each fault
 # kind (see test_fixed_seeds_cover_fault_kinds, which pins the mapping).
@@ -75,7 +84,13 @@ class TestFixedSeeds:
         summary = run_seed(seed, path=str(tmp_path / "db"), compression="zlib")
         assert summary["fired"], "fault never fired: widen the workload"
 
-    def test_fixed_seeds_cover_fault_kinds(self):
+    @pytest.mark.parametrize("seed", TIER1_SEEDS[:10])
+    def test_seed_upholds_contract_leveled(self, seed, tmp_path):
+        # Same durability contract with the leveled strategy driving the
+        # store: cascading promotions, trivial moves and mid-round manifest
+        # rewrites all sit inside the fault window now.
+        summary = run_seed(seed, path=str(tmp_path / "db"), compaction="leveled")
+        assert summary["fired"], "fault never fired: widen the workload"
         kinds = {
             FaultSchedule.from_seed(seed)._faults[0].kind for seed in TIER1_SEEDS
         }
@@ -143,6 +158,100 @@ class TestCompactionFaultPoints:
         store.close()
 
 
+class TestLeveledManifestCrashWindow:
+    """Crashes aimed at the MANIFEST rewrite inside a leveled round.
+
+    A leveled promotion commits by rewriting the manifest (tmp write +
+    rename) *after* its outputs are verified and *before* its inputs are
+    deleted, so a crash anywhere in that window must leave either the old
+    layout (inputs intact, outputs orphaned) or the new one (outputs
+    live, inputs orphaned) -- both fully readable.
+    """
+
+    CFG = LeveledConfig(l0_compact_tables=2, base_level_bytes=4096, fanout=2)
+
+    @classmethod
+    def _populated(cls, path: str) -> dict:
+        store = LSMStore(
+            path,
+            auto_compact=False,
+            compaction="leveled",
+            leveled=cls.CFG,
+            memtable_flush_bytes=1024,
+        )
+        store.create_table("t", merge_operator="list_append")
+        for batch in range(4):
+            for i in range(25):
+                store.merge("t", i % 10, [batch * 100 + i])
+            store.flush()
+        before = {k: v for k, v in store.scan("t")}
+        store.close()
+        return before
+
+    def _crash_round(self, tmp_path, fault: Fault) -> tuple[str, dict]:
+        path = str(tmp_path / "db")
+        before = self._populated(path)
+        store = LSMStore(
+            path,
+            auto_compact=False,
+            compaction="leveled",
+            leveled=self.CFG,
+            io=FaultyIO(FaultSchedule([fault])),
+        )
+        with pytest.raises(SimulatedCrash):
+            while store.compact():
+                pass
+        simulate_crash(store)
+        return path, before
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            Fault(CRASH_BEFORE_RENAME, "rename", nth=1, path_part="MANIFEST"),
+            Fault(CRASH_AFTER_RENAME, "rename", nth=1, path_part="MANIFEST"),
+            Fault(TORN_WRITE, "write", nth=1, path_part="MANIFEST", arg=0.5),
+        ],
+        ids=["before-rename", "after-rename", "torn-tmp-write"],
+    )
+    def test_crash_around_manifest_rewrite_recovers(self, tmp_path, fault):
+        path, before = self._crash_round(tmp_path, fault)
+        reopened = LSMStore(
+            path, auto_compact=False, compaction="leveled", leveled=self.CFG
+        )
+        try:
+            assert {k: v for k, v in reopened.scan("t")} == before
+            reopened.verify()
+            # The survivor layout is sound enough for further rounds.
+            while reopened.compact():
+                pass
+            assert {k: v for k, v in reopened.scan("t")} == before
+        finally:
+            reopened.close()
+
+    def test_crash_after_rename_orphans_inputs_not_outputs(self, tmp_path):
+        fault = Fault(CRASH_AFTER_RENAME, "rename", nth=1, path_part="MANIFEST")
+        path, before = self._crash_round(tmp_path, fault)
+        # The new manifest is committed: reopening must serve the merged
+        # outputs and ignore the not-yet-deleted input tables.
+        reopened = LSMStore(
+            path, auto_compact=False, compaction="leveled", leveled=self.CFG
+        )
+        try:
+            import json as _json
+            import os as _os
+
+            with open(_os.path.join(path, "MANIFEST"), encoding="utf-8") as fh:
+                manifest = _json.load(fh)
+            listed = {e["file"] for e in manifest["sstables"]}
+            on_disk = {
+                f for f in _os.listdir(path) if f.endswith(".sst")
+            }
+            assert listed <= on_disk
+            assert {k: v for k, v in reopened.scan("t")} == before
+        finally:
+            reopened.close()
+
+
 class TestDirectoryFsyncFaults:
     """The rename-commit directory fsync added to ``SSTableWriter.finish``."""
 
@@ -203,6 +312,27 @@ class TestSeedSweep:
             pytest.fail(
                 f"{len(failures)}/{self.SWEEP} seeds violated the durability "
                 "contract:\n" + "\n".join(failures)
+            )
+
+    def test_seed_sweep_leveled(self, tmp_path):
+        # Full sweep under the leveled strategy: every fault kind against
+        # cascading promotions, trivial moves and manifest rewrites.
+        # Reproduce one seed with:
+        #   python -m repro faults --seed N --compaction leveled
+        failures = []
+        for seed in range(self.SWEEP):
+            try:
+                run_seed(
+                    seed,
+                    path=str(tmp_path / f"seed-{seed}"),
+                    compaction="leveled",
+                )
+            except CrashRecoveryFailure as exc:
+                failures.append(str(exc))
+        if failures:
+            pytest.fail(
+                f"{len(failures)}/{self.SWEEP} leveled seeds violated the "
+                "durability contract:\n" + "\n".join(failures)
             )
 
     def test_seed_sweep_compressed(self, tmp_path):

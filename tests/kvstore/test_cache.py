@@ -75,6 +75,18 @@ class TestBlockCache:
         assert cache.get((2, 0)) == "r2b0"
         assert cache.weight == 10
 
+    def test_evict_owners_batch_drops_all_in_one_sweep(self):
+        cache = BlockCache(1000)
+        for owner in (1, 2, 3):
+            for slot in (0, 1):
+                cache.put((owner, slot), f"r{owner}b{slot}", weight=5)
+        cache.evict_owners({1, 3})
+        assert cache.get((1, 0)) is None
+        assert cache.get((3, 1)) is None
+        assert cache.get((2, 0)) == "r2b0"
+        assert cache.get((2, 1)) == "r2b1"
+        assert cache.weight == 10
+
     def test_metrics_mirroring(self):
         from repro.kvstore import StoreMetrics
 

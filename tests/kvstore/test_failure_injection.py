@@ -57,8 +57,18 @@ class TestCorruptedFiles:
         with open(full, "r+b") as fh:
             fh.seek(-20, 2)  # inside the footer's record-count field
             fh.write(b"\x00" * 4)
+        # An eager open checks the meta CRC (which covers the footer
+        # fields) immediately.
         with pytest.raises(CorruptionError):
-            LSMStore(path)
+            LSMStore(path, lazy_open=False)
+        # The default lazy open defers that check; the first scrub (or
+        # read) must still surface it as a typed corruption error.
+        store = LSMStore(path)
+        try:
+            with pytest.raises(CorruptionError):
+                store.verify()
+        finally:
+            store.close()
 
     def test_corrupt_data_section_detected_by_scrub(self, tmp_path):
         path = str(tmp_path / "db")

@@ -1,0 +1,322 @@
+"""Property tests for the leveled compaction planner.
+
+``plan_leveled`` is a pure function over table metadata, so Hypothesis can
+hammer it directly: level invariants (L1+ key-disjoint, byte budgets
+respected at the fixed point), promotion picks (all of L0 at once, the
+cheapest victim for deeper levels), and -- through a real store -- the
+equivalence of read results before and after any compaction round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.kvstore import LSMStore, LeveledConfig  # noqa: E402
+from repro.kvstore.compaction import (  # noqa: E402
+    LeveledPlan,
+    plan_leveled,
+)
+
+
+def _key(i: int) -> bytes:
+    return b"k%06d" % i
+
+
+class _Table:
+    """Planner-facing stand-in for an SSTableReader."""
+
+    __slots__ = ("data_bytes", "min_key", "max_key")
+
+    def __init__(self, data_bytes: int, min_key: bytes | None, max_key: bytes | None):
+        self.data_bytes = data_bytes
+        self.min_key = min_key
+        self.max_key = max_key
+
+    def __repr__(self) -> str:  # pragma: no cover - shrink output aid
+        return f"T({self.data_bytes}, {self.min_key!r}..{self.max_key!r})"
+
+
+def _overlaps(a: _Table, b: _Table) -> bool:
+    if None in (a.min_key, a.max_key, b.min_key, b.max_key):
+        return True
+    return a.min_key <= b.max_key and b.min_key <= a.max_key
+
+
+@st.composite
+def configs(draw):
+    return LeveledConfig(
+        l0_compact_tables=draw(st.integers(2, 5)),
+        base_level_bytes=draw(st.sampled_from([1_000, 4_000, 16_000])),
+        fanout=draw(st.integers(2, 4)),
+        soft_ratio=draw(st.sampled_from([0.5, 0.75, 1.0])),
+    )
+
+
+@st.composite
+def layouts(draw):
+    """A config plus a structurally valid level layout.
+
+    L0 tables may overlap arbitrarily; every deeper level is generated as
+    a key-disjoint run (the invariant the store maintains).
+    """
+    cfg = draw(configs())
+    l0 = []
+    for _ in range(draw(st.integers(0, 7))):
+        a, b = sorted(
+            (draw(st.integers(0, 999)), draw(st.integers(0, 999)))
+        )
+        l0.append(_Table(draw(st.integers(1, 3_000)), _key(a), _key(b)))
+    levels = [l0]
+    for n in range(1, draw(st.integers(0, 3)) + 1):
+        count = draw(st.integers(0, 5))
+        bounds = sorted(
+            draw(
+                st.lists(
+                    st.integers(0, 999),
+                    min_size=2 * count,
+                    max_size=2 * count,
+                    unique=True,
+                )
+            )
+        )
+        levels.append(
+            [
+                _Table(
+                    draw(st.integers(1, 3_000)),
+                    _key(bounds[2 * i]),
+                    _key(bounds[2 * i + 1]),
+                )
+                for i in range(count)
+            ]
+        )
+    return cfg, levels
+
+
+def _is_quiescent(cfg: LeveledConfig, levels, soft: bool = False) -> bool:
+    l0_trigger = cfg.l0_compact_tables
+    if soft:
+        l0_trigger = max(2, int(l0_trigger * cfg.soft_ratio))
+    if levels and len(levels[0]) >= l0_trigger:
+        return False
+    for n in range(1, len(levels)):
+        threshold = cfg.level_target_bytes(n)
+        if soft:
+            threshold = int(threshold * cfg.soft_ratio)
+        if sum(t.data_bytes for t in levels[n]) > threshold:
+            return False
+    return True
+
+
+class TestPlannerPicks:
+    @given(layouts())
+    def test_none_iff_quiescent(self, layout):
+        cfg, levels = layout
+        plan = plan_leveled(levels, cfg)
+        assert (plan is None) == _is_quiescent(cfg, levels)
+
+    @given(layouts())
+    def test_l0_promotion_takes_all_of_l0(self, layout):
+        cfg, levels = layout
+        plan = plan_leveled(levels, cfg)
+        if plan is None or plan.level != 0:
+            return
+        assert len(levels[0]) >= cfg.l0_compact_tables
+        assert plan.sources == levels[0]
+        assert plan.target_level == 1
+
+    @given(layouts())
+    def test_targets_are_exactly_the_overlapping_tables(self, layout):
+        cfg, levels = layout
+        plan = plan_leveled(levels, cfg)
+        if plan is None:
+            return
+        below = (
+            levels[plan.target_level] if plan.target_level < len(levels) else []
+        )
+        # The merged output is one contiguous run over the *union* span of
+        # the sources, so exactly the next-level tables overlapping that
+        # span must be dragged in: a table inside a gap between two L0
+        # tables still collides with the output run; one fully outside the
+        # span would be wasted write amplification.
+        if any(s.min_key is None or s.max_key is None for s in plan.sources):
+            span = _Table(0, None, None)
+        else:
+            span = _Table(
+                0,
+                min(s.min_key for s in plan.sources),
+                max(s.max_key for s in plan.sources),
+            )
+        expected = [t for t in below if _overlaps(t, span)]
+        assert plan.targets == expected
+
+    @given(layouts())
+    def test_overflow_victim_minimizes_overlap_bytes(self, layout):
+        cfg, levels = layout
+        plan = plan_leveled(levels, cfg)
+        if plan is None or plan.level == 0:
+            return
+        assert len(plan.sources) == 1
+        victim = plan.sources[0]
+        below = (
+            levels[plan.target_level] if plan.target_level < len(levels) else []
+        )
+
+        def cost(table):
+            return sum(
+                t.data_bytes for t in below if _overlaps(t, table)
+            )
+
+        assert cost(victim) == min(cost(t) for t in levels[plan.level])
+
+    @given(layouts())
+    def test_trivial_move_means_no_rewrite_needed(self, layout):
+        cfg, levels = layout
+        plan = plan_leveled(levels, cfg)
+        if plan is None:
+            return
+        if plan.is_trivial_move:
+            assert plan.level >= 1
+            assert plan.targets == []
+        if plan.level >= 1 and not plan.targets:
+            assert plan.is_trivial_move
+
+    @given(layouts())
+    def test_hard_plan_implies_soft_plan(self, layout):
+        cfg, levels = layout
+        if plan_leveled(levels, cfg) is not None:
+            # Soft thresholds are at most the hard ones, so background
+            # (soft) rounds can never fall behind the hard trigger.
+            assert plan_leveled(levels, cfg, soft=True) is not None
+
+
+def _apply_abstractly(cfg: LeveledConfig, levels, plan: LeveledPlan):
+    """Simulate applying a plan without real I/O.
+
+    The merged output covers the key span of the inputs and carries their
+    summed bytes (an upper bound: merging never grows data), split into
+    key-partitioned chunks at ``max_output_bytes`` exactly as the store
+    splits its outputs.
+    """
+    inputs = plan.sources + plan.targets
+    if plan.is_trivial_move:
+        # The store reassigns the table's level in the manifest; no rewrite,
+        # no split.
+        outputs = list(plan.sources)
+    else:
+        total = sum(t.data_bytes for t in inputs)
+        known = [t for t in inputs if t.min_key is not None and t.max_key is not None]
+        lo = min((t.min_key for t in known), default=_key(0))
+        hi = max((t.max_key for t in known), default=_key(999))
+        span = [int(lo[1:]), int(hi[1:])]
+        # The real writer cuts at record boundaries, so it can never produce
+        # more outputs than there are distinct keys.
+        chunks = max(1, -(-total // cfg.max_output_bytes))
+        chunks = min(chunks, span[1] - span[0] + 1)
+        width = span[1] - span[0] + 1
+        outputs = []
+        for i in range(chunks):
+            a = span[0] + width * i // chunks
+            b = span[0] + width * (i + 1) // chunks - 1
+            outputs.append(_Table(total // chunks, _key(a), _key(b)))
+    while len(levels) <= plan.target_level:
+        levels.append([])
+    for n, tables in enumerate(levels):
+        levels[n] = [t for t in tables if t not in inputs]
+    survivors = levels[plan.target_level]
+    levels[plan.target_level] = sorted(
+        survivors + outputs, key=lambda t: t.min_key
+    )
+    return levels
+
+
+class TestCascadeInvariants:
+    @given(layouts())
+    @settings(max_examples=60)
+    def test_draining_plans_terminates_and_respects_invariants(self, layout):
+        cfg, levels = layout
+        for _ in range(200):
+            plan = plan_leveled(levels, cfg)
+            if plan is None:
+                break
+            levels = _apply_abstractly(cfg, levels, plan)
+            # L1+ stays key-disjoint after every round.
+            for n in range(1, len(levels)):
+                run = sorted(levels[n], key=lambda t: t.min_key or b"")
+                for a, b in zip(run, run[1:]):
+                    assert a.max_key < b.min_key, f"L{n} overlap after {plan!r}"
+        else:
+            pytest.fail("planner did not quiesce within 200 rounds")
+        # At the fixed point every trigger is satisfied: L0 below its
+        # table-count trigger, deeper levels within their byte budgets.
+        assert _is_quiescent(cfg, levels)
+
+
+class TestReadEquivalence:
+    """Read results are identical before/after any compaction round."""
+
+    @given(st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_rounds_and_reopen_preserve_reads(self, tmp_path_factory, data):
+        path = str(tmp_path_factory.mktemp("leveled") / "db")
+        cfg = LeveledConfig(
+            l0_compact_tables=2, base_level_bytes=2_048, fanout=2,
+            max_output_bytes=1_024,
+        )
+        store = LSMStore(
+            path,
+            memtable_flush_bytes=512,
+            compaction="leveled",
+            leveled=cfg,
+            auto_compact=False,  # rounds run explicitly below
+        )
+        store.create_table("kv")
+        store.create_table("log", merge_operator="list_append")
+        model: dict[str, str] = {}
+        logm: dict[str, list[int]] = {}
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["put", "merge", "delete", "flush"]),
+                    st.integers(0, 30),
+                    st.integers(0, 60),
+                ),
+                min_size=10,
+                max_size=80,
+            )
+        )
+        for i, (kind, keyn, pad) in enumerate(ops):
+            key = f"k{keyn:03d}"
+            if kind == "put":
+                value = f"v{i}-" + "x" * pad
+                store.put("kv", key, value)
+                model[key] = value
+            elif kind == "merge":
+                store.merge("log", key, [i])
+                logm.setdefault(key, []).append(i)
+            elif kind == "delete":
+                store.delete("kv", key)
+                model.pop(key, None)
+            else:
+                store.flush()
+
+        def snapshot(s):
+            kv = {k: s.get("kv", k) for k in model}
+            lg = {k: s.get("log", k) for k in logm}
+            return kv, lg
+
+        store.flush()
+        before = snapshot(store)
+        rounds = 0
+        while store.compact():
+            rounds += 1
+            assert snapshot(store) == before, f"reads changed after round {rounds}"
+            assert rounds < 100
+        store.close()
+        reopened = LSMStore(path, compaction="leveled", leveled=cfg, auto_compact=False)
+        try:
+            assert snapshot(reopened) == before
+        finally:
+            reopened.close()
